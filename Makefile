@@ -1,0 +1,45 @@
+# deltasched — reproduction of "Does Link Scheduling Matter on Long Paths?"
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench figs figs-quick ablate fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures (Figs. 2-4) as tables, charts and CSV.
+figs:
+	$(GO) run ./cmd/paperfigs -outdir results
+
+figs-quick:
+	$(GO) run ./cmd/paperfigs -quick
+
+# Scaling fits, design-choice ablations, admissible region.
+ablate:
+	$(GO) run ./cmd/ablate -region
+
+fmt:
+	gofmt -w ./cmd ./internal ./examples ./bench_test.go
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,199 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (Figs. 2–4 — the paper has no tables) plus micro-benchmarks for the
+// computational kernels. `go test -bench=. -benchmem` runs them all; the
+// full-resolution figures are produced by cmd/paperfigs.
+package main
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/experiments"
+	"deltasched/internal/minplus"
+	"deltasched/internal/sim"
+	"deltasched/internal/traffic"
+)
+
+// BenchmarkFig2Example1 regenerates a reduced-resolution version of
+// Fig. 2: delay bound vs total utilization for BMUX/FIFO/EDF at
+// H ∈ {2, 5, 10}.
+func BenchmarkFig2Example1(b *testing.B) {
+	s := experiments.PaperSetup()
+	utils := []float64{0.2, 0.5, 0.8}
+	for i := 0; i < b.N; i++ {
+		series, err := s.Example1([]int{2, 5, 10}, utils)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 9 {
+			b.Fatalf("expected 9 series, got %d", len(series))
+		}
+		reportLastPoint(b, series[0].Y)
+	}
+}
+
+// BenchmarkFig3Example2 regenerates a reduced-resolution version of
+// Fig. 3: delay bound vs traffic mix at U=50% for the four schedulers.
+func BenchmarkFig3Example2(b *testing.B) {
+	s := experiments.PaperSetup()
+	mixes := []float64{0.25, 0.5, 0.75}
+	for i := 0; i < b.N; i++ {
+		series, err := s.Example2([]int{2, 5}, mixes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 8 {
+			b.Fatalf("expected 8 series, got %d", len(series))
+		}
+		reportLastPoint(b, series[0].Y)
+	}
+}
+
+// BenchmarkFig4Example3 regenerates a reduced-resolution version of
+// Fig. 4: delay bound vs path length, including the additive baseline.
+func BenchmarkFig4Example3(b *testing.B) {
+	s := experiments.PaperSetup()
+	hs := []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		series, err := s.Example3(hs, []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 4 {
+			b.Fatalf("expected 4 series, got %d", len(series))
+		}
+		reportLastPoint(b, series[0].Y)
+	}
+}
+
+func reportLastPoint(b *testing.B, ys []float64) {
+	b.Helper()
+	last := ys[len(ys)-1]
+	if !math.IsNaN(last) {
+		b.ReportMetric(last, "ms-last-point")
+	}
+}
+
+// BenchmarkDelayBound measures one full γ-optimized end-to-end bound.
+func BenchmarkDelayBound(b *testing.B) {
+	cfg := core.PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DelayBound(cfg, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInnerMinimize measures the exact solver for the optimization
+// problem of Eq. (38) in isolation.
+func BenchmarkInnerMinimize(b *testing.B) {
+	cfg := core.PathConfig{
+		H:       20,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: -5,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolve measures exact min-plus convolution of piecewise-
+// linear curves.
+func BenchmarkConvolve(b *testing.B) {
+	f := minplus.Min(minplus.Affine(2, 30), minplus.Min(minplus.Affine(1.2, 60), minplus.Affine(0.8, 100)))
+	g := minplus.Max(minplus.RateLatency(5, 4), minplus.RateLatency(9, 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = minplus.Convolve(f, g)
+	}
+}
+
+// BenchmarkEffectiveBandwidth measures the closed-form MMOO effective
+// bandwidth used inside every α-sweep iteration.
+func BenchmarkEffectiveBandwidth(b *testing.B) {
+	m := envelope.PaperSource()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EffectiveBandwidth(0.01 + float64(i%100)*1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSlots measures tandem simulation throughput in
+// slots/op for the Fig. 1 topology at moderate load.
+func BenchmarkSimulatorSlots(b *testing.B) {
+	m := envelope.PaperSource()
+	rng := rand.New(rand.NewSource(9))
+	through, err := traffic.NewMMOOAggregate(m, 30, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cross := make([]traffic.Source, 3)
+	for i := range cross {
+		cs, err := traffic.NewMMOOAggregate(m, 60, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross[i] = cs
+	}
+	tan := &sim.Tandem{C: 20, Through: through, Cross: cross,
+		MakeSched: func(int) sim.Scheduler { return sim.NewFIFO() }}
+	b.ResetTimer()
+	const slotsPerOp = 2000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tan.Run(slotsPerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(slotsPerOp, "slots/op")
+}
+
+// BenchmarkEDFProvisioning measures the deadline fixed point of the
+// paper's EDF configuration.
+func BenchmarkEDFProvisioning(b *testing.B) {
+	cfg := core.PathConfig{
+		H:       5,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.EDFProvisioned(cfg, 1e-9, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdditiveBound measures the node-by-node baseline of Fig. 4.
+func BenchmarkAdditiveBound(b *testing.B) {
+	cfg := core.PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: math.Inf(1),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AdditiveBound(cfg, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

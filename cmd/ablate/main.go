@@ -1,0 +1,111 @@
+// Command ablate runs the design-choice ablations and scaling analyses
+// recorded in DESIGN.md: the exact inner solver versus the paper's
+// K-recipe, the value of optimizing the rate slack γ and the EBB decay α,
+// the fitted growth exponents of network versus additive bounds, and the
+// persistence of EDF's advantage on long paths.
+//
+// Usage:
+//
+//	ablate [-util 0.5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deltasched/internal/experiments"
+	"deltasched/internal/plot"
+)
+
+func main() {
+	var (
+		util   = flag.Float64("util", 0.5, "total utilization for the sweeps")
+		quick  = flag.Bool("quick", false, "smaller grids")
+		region = flag.Bool("region", false, "also compute the two-class admissible region")
+	)
+	flag.Parse()
+	if err := run(*util, *quick, *region); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(util float64, quick, region bool) error {
+	s := experiments.PaperSetup()
+	hsScaling := []int{2, 4, 8, 16, 24}
+	hsRecipe := []int{2, 5, 10}
+	hsGain := []int{1, 2, 4, 8, 16}
+	if quick {
+		hsScaling = []int{2, 4, 8}
+		hsRecipe = []int{2, 5}
+		hsGain = []int{2, 8}
+	}
+
+	fmt.Printf("== Scaling: network service curve vs additive bounds (U=%.0f%%) ==\n", util*100)
+	rep, err := s.Scaling(hsScaling, util)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %16s %16s\n", "H", "network [ms]", "additive [ms]")
+	for i, h := range rep.Hs {
+		fmt.Printf("%6d %16.4g %16.4g\n", h, rep.Network[i], rep.Additive[i])
+	}
+	fmt.Printf("fitted growth exponents: network H^%.2f (paper: Θ(H log H)), additive H^%.2f (paper: O(H³ log H))\n\n",
+		rep.NetworkExp, rep.AdditiveExp)
+
+	fmt.Printf("== Does scheduling matter on long paths? (ratios to BMUX, U=%.0f%%) ==\n", util*100)
+	gain, err := s.EDFGain(hsGain, util)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %12s %12s\n", "H", "FIFO/BMUX", "EDF/BMUX")
+	for i, h := range gain.Hs {
+		fmt.Printf("%6d %12.3f %12.3f\n", h, gain.FIFORatio[i], gain.EDFRatio[i])
+	}
+	fmt.Println()
+
+	fmt.Printf("== Ablation: paper's K-recipe (Eqs. 40–42) vs exact solver (U=%.0f%%) ==\n", util*100)
+	rows, err := s.AblateRecipe(hsRecipe, util)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %14s %14s %10s\n", "config", "exact [ms]", "recipe [ms]", "penalty")
+	for _, r := range rows {
+		fmt.Printf("%-18s %14.4g %14.4g %9.3f×\n", r.Label, r.Full, r.Ablated, r.Penalty())
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: fixed γ and fixed α vs optimized ==")
+	fmt.Printf("%-26s %14s %14s %10s\n", "config", "optimized", "ablated", "penalty")
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		row, err := s.AblateGamma(5, util, frac)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
+	}
+	row, err := s.AblateAlpha(5, util)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
+
+	if region {
+		fmt.Println("\n== Two-class admissible region (C=50 Mbps, d1=10 ms, d2=100 ms) ==")
+		spec := experiments.RegionSpec{Capacity: 50, D1: 10, D2: 100}
+		n1s := []float64{10, 40, 80, 120, 160}
+		series, err := s.AdmissibleRegion(spec, n1s)
+		if err != nil {
+			return err
+		}
+		if err := plotTable(series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func plotTable(series []plot.Series) error {
+	return plot.Table(os.Stdout, "class-1 flows", series...)
+}

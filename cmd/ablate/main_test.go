@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"deltasched/internal/plot"
+)
+
+func TestPlotTable(t *testing.T) {
+	// plotTable writes to stdout; capture it.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	series := []plot.Series{{Label: "EDF", X: []float64{1, 2}, Y: []float64{3, 4}}}
+	perr := plotTable(series)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if !strings.Contains(buf.String(), "EDF") || !strings.Contains(buf.String(), "class-1 flows") {
+		t.Fatalf("table output missing headers: %q", buf.String())
+	}
+}

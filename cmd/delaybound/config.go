@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+)
+
+// pathFile is the JSON schema for heterogeneous path configurations
+// (delaybound -config FILE): per-node capacities, cross populations and
+// schedulers, all fed from a shared MMOO source model.
+type pathFile struct {
+	Eps    float64    `json:"eps"`
+	Source sourceSpec `json:"source"`
+	// ThroughFlows is the number of MMOO flows in the through aggregate.
+	ThroughFlows float64    `json:"throughFlows"`
+	Nodes        []nodeSpec `json:"nodes"`
+}
+
+type sourceSpec struct {
+	Peak float64 `json:"peak"` // kbit per slot
+	P11  float64 `json:"p11"`
+	P22  float64 `json:"p22"`
+}
+
+type nodeSpec struct {
+	C          float64 `json:"c"`          // kbit per slot
+	CrossFlows float64 `json:"crossFlows"` // MMOO flows joining at this node
+	Sched      string  `json:"sched"`      // fifo | bmux | sp | edf
+	EDFD0      float64 `json:"edfD0"`      // EDF deadline of the through traffic [slots]
+	EDFDc      float64 `json:"edfDc"`      // EDF deadline of the cross traffic [slots]
+}
+
+// loadPathFile reads and validates a configuration file.
+func loadPathFile(path string) (pathFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return pathFile{}, err
+	}
+	return parsePathFile(raw)
+}
+
+func parsePathFile(raw []byte) (pathFile, error) {
+	var pf pathFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return pathFile{}, fmt.Errorf("parse config: %w", err)
+	}
+	if pf.Eps <= 0 || pf.Eps >= 1 {
+		return pathFile{}, fmt.Errorf("config: eps must be in (0,1), got %g", pf.Eps)
+	}
+	if pf.ThroughFlows <= 0 {
+		return pathFile{}, fmt.Errorf("config: throughFlows must be positive, got %g", pf.ThroughFlows)
+	}
+	if len(pf.Nodes) == 0 {
+		return pathFile{}, errors.New("config: at least one node is required")
+	}
+	src := pf.mmoo()
+	if err := src.Validate(); err != nil {
+		return pathFile{}, fmt.Errorf("config: source: %w", err)
+	}
+	for i, n := range pf.Nodes {
+		if n.C <= 0 {
+			return pathFile{}, fmt.Errorf("config: node %d: capacity must be positive, got %g", i+1, n.C)
+		}
+		if n.CrossFlows < 0 {
+			return pathFile{}, fmt.Errorf("config: node %d: crossFlows must be >= 0, got %g", i+1, n.CrossFlows)
+		}
+		if _, err := n.delta(); err != nil {
+			return pathFile{}, fmt.Errorf("config: node %d: %w", i+1, err)
+		}
+	}
+	return pf, nil
+}
+
+func (pf pathFile) mmoo() envelope.MMOO {
+	return envelope.MMOO{Peak: pf.Source.Peak, P11: pf.Source.P11, P22: pf.Source.P22}
+}
+
+func (n nodeSpec) delta() (float64, error) {
+	switch n.Sched {
+	case "fifo":
+		return 0, nil
+	case "bmux":
+		return math.Inf(1), nil
+	case "sp":
+		return math.Inf(-1), nil
+	case "edf":
+		if n.EDFD0 <= 0 || n.EDFDc <= 0 {
+			return 0, errors.New("edf nodes need edfD0 and edfDc > 0")
+		}
+		return n.EDFD0 - n.EDFDc, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", n.Sched)
+	}
+}
+
+// heteroBound computes the α-optimized end-to-end bound for a parsed
+// configuration.
+func heteroBound(pf pathFile) (core.Result, error) {
+	src := pf.mmoo()
+	build := func(alpha float64) (core.HeteroPath, error) {
+		through, err := src.EBBAggregate(pf.ThroughFlows, alpha)
+		if err != nil {
+			return core.HeteroPath{}, err
+		}
+		nodes := make([]core.NodeSpec, len(pf.Nodes))
+		for i, n := range pf.Nodes {
+			cross, err := src.EBBAggregate(n.CrossFlows, alpha)
+			if err != nil {
+				return core.HeteroPath{}, err
+			}
+			delta, err := n.delta()
+			if err != nil {
+				return core.HeteroPath{}, err
+			}
+			nodes[i] = core.NodeSpec{C: n.C, Cross: cross, Delta: delta}
+		}
+		return core.HeteroPath{Through: through, Nodes: nodes}, nil
+	}
+	alpha, _, err := core.OptimizeAlphaFunc(func(a float64) (float64, error) {
+		p, err := build(a)
+		if err != nil {
+			return 0, err
+		}
+		r, err := core.DelayBoundHetero(p, pf.Eps)
+		if err != nil {
+			return 0, err
+		}
+		return r.D, nil
+	}, 1e-3, 50)
+	if err != nil {
+		return core.Result{}, err
+	}
+	p, err := build(alpha)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.DelayBoundHetero(p, pf.Eps)
+}

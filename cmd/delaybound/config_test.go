@@ -1,0 +1,93 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const validConfig = `{
+  "eps": 1e-9,
+  "source": {"peak": 1.5, "p11": 0.989, "p22": 0.9},
+  "throughFlows": 100,
+  "nodes": [
+    {"c": 100, "crossFlows": 150, "sched": "fifo"},
+    {"c": 60,  "crossFlows": 50,  "sched": "edf", "edfD0": 5, "edfDc": 50},
+    {"c": 100, "crossFlows": 150, "sched": "bmux"}
+  ]
+}`
+
+func TestParsePathFileValid(t *testing.T) {
+	pf, err := parsePathFile([]byte(validConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Nodes) != 3 || pf.ThroughFlows != 100 {
+		t.Fatalf("unexpected parse result: %+v", pf)
+	}
+	d, err := pf.Nodes[1].delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != -45 {
+		t.Fatalf("EDF delta = %g, want -45", d)
+	}
+	if d, _ := pf.Nodes[2].delta(); !math.IsInf(d, 1) {
+		t.Fatalf("BMUX delta = %g, want +Inf", d)
+	}
+}
+
+func TestParsePathFileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"bad eps", func(s string) string { return strings.Replace(s, "1e-9", "2", 1) }},
+		{"zero through", func(s string) string { return strings.Replace(s, `"throughFlows": 100`, `"throughFlows": 0`, 1) }},
+		{"no nodes", func(s string) string {
+			i := strings.Index(s, `"nodes"`)
+			return s[:i] + `"nodes": []}`
+		}},
+		{"bad scheduler", func(s string) string { return strings.Replace(s, `"fifo"`, `"wfq"`, 1) }},
+		{"edf missing deadlines", func(s string) string {
+			return strings.Replace(s, `"sched": "edf", "edfD0": 5, "edfDc": 50`, `"sched": "edf"`, 1)
+		}},
+		{"unknown field", func(s string) string { return strings.Replace(s, `"eps"`, `"epsilon"`, 1) }},
+		{"zero capacity", func(s string) string { return strings.Replace(s, `"c": 60`, `"c": 0`, 1) }},
+		{"invalid source", func(s string) string { return strings.Replace(s, `"p11": 0.989`, `"p11": 1.7`, 1) }},
+		{"not json", func(string) string { return "{" }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parsePathFile([]byte(tt.mut(validConfig))); err == nil {
+				t.Fatalf("expected parse error")
+			}
+		})
+	}
+}
+
+func TestHeteroBoundFromConfig(t *testing.T) {
+	pf, err := parsePathFile([]byte(validConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := heteroBound(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D <= 0 || res.D > 1e5 {
+		t.Fatalf("implausible bound %g", res.D)
+	}
+	// The 60 Mbps node is the bottleneck: tightening it must worsen the
+	// bound, relaxing it must improve it.
+	tighter := pf
+	tighter.Nodes = append([]nodeSpec(nil), pf.Nodes...)
+	tighter.Nodes[1].C = 45
+	resT, err := heteroBound(tighter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resT.D <= res.D {
+		t.Fatalf("tighter bottleneck should worsen the bound: %g vs %g", resT.D, res.D)
+	}
+}

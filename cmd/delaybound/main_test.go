@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompact(t *testing.T) {
+	short := compact([]float64{1, 2, 3})
+	if !strings.Contains(short, "1") || !strings.Contains(short, "3") {
+		t.Fatalf("compact short form %q", short)
+	}
+	long := compact(make([]float64, 20))
+	if !strings.Contains(long, "H=20") {
+		t.Fatalf("compact long form should summarize: %q", long)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-sched", "edf"}); err == nil {
+		t.Fatal("edf without deadlines must error")
+	}
+	if err := run([]string{"-sched", "unknown"}); err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+	if err := run([]string{"-p11", "1.4"}); err == nil {
+		t.Fatal("invalid source must error")
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing config file must error")
+	}
+}
+
+func TestRunFixedAlphaSmoke(t *testing.T) {
+	// Fixed alpha avoids the full sweep: fast smoke test of the flag path.
+	if err := run([]string{"-H", "2", "-sched", "fifo", "-n0", "20", "-nc", "40",
+		"-alpha", "0.1", "-additive"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Command netsim simulates the paper's tandem network (Fig. 1) at the
+// fluid slot level and compares the measured end-to-end delays of the
+// through traffic against the analytical bound: the empirical violation
+// fraction of the bound must stay below the configured probability.
+//
+// Example:
+//
+//	netsim -H 3 -C 20 -n0 30 -nc 60 -sched fifo -slots 200000 -eps 1e-2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/sim"
+	"deltasched/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+	var (
+		h     = fs.Int("H", 3, "path length (number of nodes)")
+		c     = fs.Float64("C", 20, "link capacity per node [kbit/slot]")
+		n0    = fs.Int("n0", 30, "number of through MMOO flows")
+		nc    = fs.Int("nc", 60, "number of cross MMOO flows per node")
+		sched = fs.String("sched", "fifo", "scheduler: fifo, bmux, sp, edf, gps, drr")
+		edfD0 = fs.Float64("edf-d0", 5, "EDF deadline of the through traffic [slots]")
+		edfDc = fs.Float64("edf-dc", 50, "EDF deadline of the cross traffic [slots]")
+		gpsW0 = fs.Float64("gps-w0", 1, "GPS weight of the through traffic")
+		gpsWc = fs.Float64("gps-wc", 1, "GPS weight of the cross traffic")
+		pkt   = fs.Float64("pktsize", 0, "packet size for non-preemptive service (0 = fluid); fifo/bmux/sp/edf only")
+		ccdf  = fs.Bool("ccdf", false, "print the empirical delay CCDF")
+		slots = fs.Int("slots", 200000, "simulation length in slots")
+		seed  = fs.Int64("seed", 1, "RNG seed")
+		eps   = fs.Float64("eps", 1e-2, "violation probability for the analytical bound")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := envelope.PaperSource()
+	mkSched, delta, err := schedulerFor(*sched, *edfD0, *edfDc, *gpsW0, *gpsWc)
+	if err != nil {
+		return err
+	}
+	if *pkt > 0 {
+		if *sched == "gps" || *sched == "drr" {
+			return fmt.Errorf("-pktsize applies to precedence schedulers only")
+		}
+		inner := mkSched
+		mkSched = func(node int) sim.Scheduler {
+			p, ok := inner(node).(*sim.Precedence)
+			if !ok {
+				return inner(node)
+			}
+			np, err := sim.NewNonPreemptive(p, *pkt)
+			if err != nil {
+				panic(err) // packet size validated by the flag check above
+			}
+			return np
+		}
+	}
+
+	// Analytical bound (GPS and DRR are not Δ-schedulers; the BMUX bound
+	// still applies to any work-conserving locally-FIFO discipline and is
+	// reported instead).
+	label := "analytical bound"
+	if math.IsNaN(delta) {
+		delta = math.Inf(1)
+		label = "BMUX fallback bound (not a Δ-scheduler)"
+	}
+	build := func(a float64) (core.PathConfig, error) {
+		through, err := src.EBBAggregate(float64(*n0), a)
+		if err != nil {
+			return core.PathConfig{}, err
+		}
+		cross, err := src.EBBAggregate(float64(*nc), a)
+		if err != nil {
+			return core.PathConfig{}, err
+		}
+		return core.PathConfig{H: *h, C: *c, Through: through, Cross: cross, Delta0c: delta}, nil
+	}
+	res, err := core.OptimizeAlpha(build, *eps, 1e-3, 50)
+	if err != nil {
+		return fmt.Errorf("computing the bound: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	through, err := traffic.NewMMOOAggregate(src, *n0, rng)
+	if err != nil {
+		return err
+	}
+	cross := make([]traffic.Source, *h)
+	for i := range cross {
+		cs, err := traffic.NewMMOOAggregate(src, *nc, rng)
+		if err != nil {
+			return err
+		}
+		cross[i] = cs
+	}
+	tan := &sim.Tandem{C: *c, Through: through, Cross: cross, MakeSched: mkSched}
+	rec, stats, err := tan.Run(*slots)
+	if err != nil {
+		return err
+	}
+	dist := rec.Distribution()
+
+	mean := src.MeanRate()
+	fmt.Printf("scenario         : H=%d C=%g, N0=%d + Nc=%d MMOO flows, scheduler %s\n", *h, *c, *n0, *nc, *sched)
+	fmt.Printf("utilization      : U=%.1f%% (U0=%.1f%%, Uc=%.1f%%)\n",
+		100*float64(*n0+*nc)*mean / *c, 100*float64(*n0)*mean / *c, 100*float64(*nc)*mean / *c)
+	fmt.Printf("simulated        : %d slots, %.4g kbit through traffic, max node backlog %.4g kbit\n",
+		*slots, stats.ThroughArrived, stats.MaxBacklog)
+	if q, err := dist.Quantile(0.5); err == nil {
+		fmt.Printf("delay median     : %d slots\n", q)
+	}
+	for _, p := range []float64{0.99, 0.999, 0.9999} {
+		if q, err := dist.Quantile(p); err == nil {
+			fmt.Printf("delay p%-8.4g : %d slots\n", 100*p, q)
+		}
+	}
+	if mx, err := dist.Max(); err == nil {
+		fmt.Printf("delay max        : %d slots\n", mx)
+	}
+	fmt.Printf("%s : %.4g slots at eps=%.3g\n", label, res.D, *eps)
+	frac := dist.ViolationFraction(res.D)
+	fmt.Printf("empirical P(W>d) : %.3g  →  bound %s\n", frac, verdict(frac <= *eps))
+	if *ccdf {
+		ds, ps := dist.CCDF()
+		fmt.Println("\nempirical CCDF (delay [slots], P(W > delay)):")
+		for i := range ds {
+			if ps[i] <= 0 {
+				fmt.Printf("  %6g  0 (no observations beyond)\n", ds[i])
+				break
+			}
+			fmt.Printf("  %6g  %.3g\n", ds[i], ps[i])
+		}
+	}
+	return nil
+}
+
+func schedulerFor(name string, d0, dc, w0, wc float64) (func(int) sim.Scheduler, float64, error) {
+	switch name {
+	case "fifo":
+		return func(int) sim.Scheduler { return sim.NewFIFO() }, 0, nil
+	case "bmux":
+		return func(int) sim.Scheduler { return sim.NewBMUX(sim.ThroughFlow) }, math.Inf(1), nil
+	case "sp":
+		return func(int) sim.Scheduler {
+			return sim.NewSP(map[core.FlowID]int{sim.ThroughFlow: 2, sim.CrossFlow: 1})
+		}, math.Inf(-1), nil
+	case "edf":
+		return func(int) sim.Scheduler {
+			return sim.NewEDF(map[core.FlowID]float64{sim.ThroughFlow: d0, sim.CrossFlow: dc})
+		}, d0 - dc, nil
+	case "gps":
+		return func(int) sim.Scheduler {
+			g, err := sim.NewGPS(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
+			if err != nil {
+				panic(err) // weights validated below
+			}
+			return g
+		}, math.NaN(), validateGPS(w0, wc)
+	case "drr":
+		return func(int) sim.Scheduler {
+			d, err := sim.NewDRR(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
+			if err != nil {
+				panic(err) // weights validated below
+			}
+			return d
+		}, math.NaN(), validateGPS(w0, wc)
+	default:
+		return nil, 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func validateGPS(w0, wc float64) error {
+	if w0 <= 0 || wc <= 0 {
+		return fmt.Errorf("gps weights must be positive (w0=%g, wc=%g)", w0, wc)
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "HOLDS"
+	}
+	return "VIOLATED"
+}

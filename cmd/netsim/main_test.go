@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchedulerFor(t *testing.T) {
+	tests := []struct {
+		name      string
+		wantDelta float64
+		wantErr   bool
+	}{
+		{"fifo", 0, false},
+		{"bmux", math.Inf(1), false},
+		{"sp", math.Inf(-1), false},
+		{"edf", -45, false},
+		{"gps", math.NaN(), false},
+		{"drr", math.NaN(), false},
+		{"wfq", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mk, delta, err := schedulerFor(tt.name, 5, 50, 1, 1)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if tt.wantErr {
+				return
+			}
+			if mk == nil || mk(0) == nil {
+				t.Fatal("scheduler factory must produce schedulers")
+			}
+			if math.IsNaN(tt.wantDelta) != math.IsNaN(delta) {
+				t.Fatalf("delta = %g, want NaN-ness %v", delta, math.IsNaN(tt.wantDelta))
+			}
+			if !math.IsNaN(tt.wantDelta) && delta != tt.wantDelta {
+				t.Fatalf("delta = %g, want %g", delta, tt.wantDelta)
+			}
+		})
+	}
+}
+
+func TestValidateGPS(t *testing.T) {
+	if err := validateGPS(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateGPS(0, 1); err == nil {
+		t.Fatal("zero weight must be rejected")
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if verdict(true) != "HOLDS" || verdict(false) != "VIOLATED" {
+		t.Fatal("verdict strings changed")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// Tiny end-to-end run exercising the full pipeline.
+	err := run([]string{"-H", "2", "-C", "20", "-n0", "5", "-nc", "10",
+		"-slots", "2000", "-eps", "1e-2", "-sched", "edf", "-ccdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sched", "nope"}); err == nil {
+		t.Fatal("bad scheduler must error")
+	}
+	if err := run([]string{"-sched", "gps", "-pktsize", "2"}); err == nil {
+		t.Fatal("pktsize with gps must error")
+	}
+}

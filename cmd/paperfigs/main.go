@@ -1,0 +1,137 @@
+// Command paperfigs regenerates the evaluation figures of the paper
+// (Figs. 2–4 of "Does Link Scheduling Matter on Long Paths?", ICDCS 2010)
+// from the analytical delay bounds implemented in this repository. Each
+// figure is printed as an aligned table and an ASCII chart, and optionally
+// written as CSV for external plotting.
+//
+// Usage:
+//
+//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"deltasched/internal/experiments"
+	"deltasched/internal/plot"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		quick  = flag.Bool("quick", false, "coarser sweeps (fast preview)")
+		outdir = flag.String("outdir", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+	if err := run(*fig, *quick, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, quick bool, outdir string) error {
+	s := experiments.PaperSetup()
+
+	utils1 := sweep(0.20, 0.95, 0.05)
+	mixes := sweep(0.1, 0.9, 0.1)
+	hs3 := intSweep(1, 30, 1)
+	if quick {
+		utils1 = sweep(0.20, 0.95, 0.15)
+		mixes = sweep(0.1, 0.9, 0.2)
+		hs3 = []int{1, 2, 4, 6, 8, 12, 16, 20, 25, 30}
+	}
+
+	type figure struct {
+		id     string
+		title  string
+		xlabel string
+		logY   bool
+		make   func() ([]plot.Series, error)
+	}
+	figures := []figure{
+		{
+			id:     "1",
+			title:  "Fig. 2 (Example 1): e2e delay bound vs total utilization U (U0=15%, eps=1e-9)",
+			xlabel: "total utilization U [%]",
+			logY:   true,
+			make:   func() ([]plot.Series, error) { return s.Example1([]int{2, 5, 10}, utils1) },
+		},
+		{
+			id:     "2",
+			title:  "Fig. 3 (Example 2): e2e delay bound vs traffic mix Uc/U (U=50%, eps=1e-9)",
+			xlabel: "cross-traffic share Uc/U",
+			make:   func() ([]plot.Series, error) { return s.Example2([]int{2, 5, 10}, mixes) },
+		},
+		{
+			id:     "3",
+			title:  "Fig. 4 (Example 3): e2e delay bound vs path length H (N0=Nc, eps=1e-9)",
+			xlabel: "path length H",
+			logY:   true,
+			make:   func() ([]plot.Series, error) { return s.Example3(hs3, []float64{0.1, 0.5, 0.9}) },
+		},
+	}
+
+	for _, f := range figures {
+		if fig != "all" && fig != f.id {
+			continue
+		}
+		start := time.Now()
+		series, err := f.make()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.id, err)
+		}
+		fmt.Printf("\n%s   (computed in %v)\n\n", f.title, time.Since(start).Round(time.Millisecond))
+		if err := plot.Table(os.Stdout, f.xlabel, series...); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := plot.ASCII(os.Stdout, plot.Options{
+			XLabel: f.xlabel,
+			YLabel: "delay bound [ms]",
+			LogY:   f.logY,
+			Width:  84,
+			Height: 24,
+		}, series...); err != nil {
+			return err
+		}
+		if outdir != "" {
+			if err := os.MkdirAll(outdir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(outdir, "fig"+f.id+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := plot.CSV(out, series...); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func sweep(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+func intSweep(lo, hi, step int) []int {
+	var out []int
+	for x := lo; x <= hi; x += step {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Admission demonstrates the single-node machinery of the paper's
+// Section III as an admission-control procedure: leaky-bucket video flows
+// with a hard per-node deadline are admitted onto a shared link as long as
+// the deterministic schedulability condition (Eq. 24) — which Theorem 2
+// proves necessary *and* sufficient for concave envelopes — still holds
+// for every admitted flow. The run compares how many flows FIFO, EDF and
+// static priority can carry, illustrating that the tight condition (not
+// just a sufficient one) is what makes the comparison meaningful.
+//
+// Run with:
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"deltasched/internal/core"
+	"deltasched/internal/minplus"
+)
+
+// flowClass describes one service class.
+type flowClass struct {
+	name     string
+	envelope minplus.Curve // per-flow arrival envelope (kbit, slots of 1 ms)
+	deadline float64       // required per-node delay [ms]
+}
+
+func main() {
+	const linkRate = 100.0 // kbit per ms (100 Mbps)
+
+	classes := []flowClass{
+		{name: "voice", envelope: minplus.Affine(0.1, 0.4), deadline: 4},  // 100 kbps, 400 bit bursts
+		{name: "video", envelope: minplus.Affine(2.0, 15), deadline: 40},  // 2 Mbps, 15 kbit bursts
+		{name: "bulk", envelope: minplus.Affine(4.0, 60), deadline: 1000}, // 4 Mbps, 60 kbit bursts
+	}
+
+	mix := map[string]int{"voice": 4, "video": 1, "bulk": 1} // admission ratio per round
+
+	policies := []struct {
+		name string
+		make func(deadline map[core.FlowID]float64, class map[core.FlowID]string) core.Policy
+	}{
+		{"FIFO", func(map[core.FlowID]float64, map[core.FlowID]string) core.Policy { return core.FIFO{} }},
+		{"EDF", func(d map[core.FlowID]float64, _ map[core.FlowID]string) core.Policy { return core.EDF{Deadline: d} }},
+		{"SP (voice>video>bulk)", func(_ map[core.FlowID]float64, cls map[core.FlowID]string) core.Policy {
+			level := make(map[core.FlowID]int, len(cls))
+			for f, c := range cls {
+				switch c {
+				case "voice":
+					level[f] = 3
+				case "video":
+					level[f] = 2
+				default:
+					level[f] = 1
+				}
+			}
+			return core.StaticPriority{Level: level}
+		}},
+	}
+
+	fmt.Printf("Admission control on a %g Mbps link (mix %v per round):\n\n", linkRate, mix)
+	for _, pol := range policies {
+		admitted, byClass, err := admitGreedy(linkRate, classes, mix, pol.make)
+		if err != nil {
+			log.Fatal(err)
+		}
+		util := 0.0
+		for _, cl := range classes {
+			util += float64(byClass[cl.name]) * cl.envelope.TailSlope()
+		}
+		fmt.Printf("  %-22s admits %3d flows (%v), utilization %.1f%%\n",
+			pol.name, admitted, byClass, 100*util/linkRate)
+	}
+
+	fmt.Println("\nEDF admits the most flows: it spends the link's slack exactly where")
+	fmt.Println("deadlines allow it, and the paper's tight condition certifies that no")
+	fmt.Println("schedulable set is rejected. FIFO must meet the tightest deadline for")
+	fmt.Println("everyone; strict priority sacrifices the bulk class early.")
+}
+
+// admitGreedy admits flows round-robin through the class mix until the
+// schedulability condition fails for any admitted flow.
+func admitGreedy(
+	linkRate float64,
+	classes []flowClass,
+	mix map[string]int,
+	mkPolicy func(map[core.FlowID]float64, map[core.FlowID]string) core.Policy,
+) (int, map[string]int, error) {
+	envs := make(map[core.FlowID]minplus.Curve)
+	deadlines := make(map[core.FlowID]float64)
+	classOf := make(map[core.FlowID]string)
+	byClass := make(map[string]int)
+	next := core.FlowID(0)
+
+	classByName := make(map[string]flowClass, len(classes))
+	for _, c := range classes {
+		classByName[c.name] = c
+	}
+
+	feasibleAll := func() (bool, error) {
+		p := mkPolicy(deadlines, classOf)
+		for f := range envs {
+			cl := classByName[classOf[f]]
+			ok, err := core.SchedulableDet(linkRate, f, envs, p, cl.deadline)
+			if err != nil {
+				if errors.Is(err, core.ErrUnstable) {
+					return false, nil
+				}
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	for round := 0; round < 10000; round++ {
+		progressed := false
+		for _, cl := range classes {
+			for i := 0; i < mix[cl.name]; i++ {
+				f := next
+				envs[f] = cl.envelope
+				deadlines[f] = cl.deadline
+				classOf[f] = cl.name
+				ok, err := feasibleAll()
+				if err != nil {
+					return 0, nil, err
+				}
+				if !ok {
+					delete(envs, f)
+					delete(deadlines, f)
+					delete(classOf, f)
+					return int(next), byClass, nil
+				}
+				next++
+				byClass[cl.name]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return int(next), byClass, nil
+}

@@ -1,0 +1,72 @@
+// Longpath asks the paper's title question directly: does the choice of
+// the link scheduler still matter as the path gets long? It sweeps the
+// path length H, computes end-to-end delay bounds for FIFO, blind
+// multiplexing and EDF at two load levels, and reports both the absolute
+// bounds and the FIFO/BMUX and EDF/BMUX ratios whose evolution with H is
+// the paper's central finding: FIFO converges to the blind-multiplexing
+// worst case, EDF keeps a persistent advantage.
+//
+// Run with:
+//
+//	go run ./examples/longpath
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"deltasched/internal/experiments"
+	"deltasched/internal/plot"
+)
+
+func main() {
+	setup := experiments.PaperSetup()
+	hs := []int{1, 2, 3, 5, 8, 12, 16, 24}
+
+	for _, util := range []float64{0.3, 0.7} {
+		n := setup.FlowCount(util) / 2 // equal through and cross populations
+
+		var fifoRatio, edfRatio plot.Series
+		fifoRatio.Label = "FIFO / BMUX"
+		edfRatio.Label = "EDF(d*c=10·d*0) / BMUX"
+
+		fmt.Printf("\n=== total utilization %.0f%% ===\n", util*100)
+		fmt.Printf("%4s %12s %12s %12s %12s %12s\n", "H", "BMUX [ms]", "FIFO [ms]", "EDF [ms]", "FIFO/BMUX", "EDF/BMUX")
+		for _, h := range hs {
+			bmux, err := setup.Bound(experiments.BMUX, h, n, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fifo, err := setup.Bound(experiments.FIFO, h, n, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			edf, err := setup.Bound(experiments.EDFRatio10, h, n, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4d %12.2f %12.2f %12.2f %12.3f %12.3f\n",
+				h, bmux, fifo, edf, fifo/bmux, edf/bmux)
+			fifoRatio.X = append(fifoRatio.X, float64(h))
+			fifoRatio.Y = append(fifoRatio.Y, fifo/bmux)
+			edfRatio.X = append(edfRatio.X, float64(h))
+			edfRatio.Y = append(edfRatio.Y, edf/bmux)
+		}
+
+		fmt.Println()
+		if err := plot.ASCII(os.Stdout, plot.Options{
+			Title:  fmt.Sprintf("Delay-bound ratio vs path length (U=%.0f%%) — 1.0 means scheduling no longer matters", util*100),
+			XLabel: "path length H",
+			YLabel: "ratio to the blind-multiplexing bound",
+			Height: 16,
+		}, fifoRatio, edfRatio); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nReading: the FIFO curve climbs to 1 — on long paths FIFO delays are")
+	fmt.Println("as bad as treating the flow with the lowest priority. The EDF curve")
+	fmt.Println("stays well below 1: deadline-based scheduling keeps differentiating")
+	fmt.Println("flows no matter how long the path gets.")
+}

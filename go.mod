@@ -1,0 +1,3 @@
+module deltasched
+
+go 1.22

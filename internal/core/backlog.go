@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"deltasched/internal/envelope"
+)
+
+// BacklogResult is a probabilistic backlog bound: P(B > B0) <= eps.
+type BacklogResult struct {
+	B     float64 // backlog bound in data units
+	Gamma float64
+	Bound envelope.ExpBound
+}
+
+// BacklogBoundStatNode computes a probabilistic backlog bound for the
+// tagged flow at a Δ-scheduled node. In the network calculus the backlog
+// bound is the vertical deviation between envelope and service curve
+// (compare Eq. 20, which uses the horizontal one for delays): with the
+// linear statistical envelopes G(t) = (ρ+γ)t and the Theorem 1 leftover
+// service S(t) = (C−Σρ'_c)t − σ_s, the deviation is attained at t→0⁺ and
+//
+//	P( B > σ ) <= ε(σ),
+//
+// where ε merges the envelope and service bounding functions (Eq. 33) —
+// i.e. the backlog bound is exactly the σ solved from the combined bound.
+// The rate slack γ is optimized numerically.
+//
+// Note the backlog bound is scheduler-independent within the Δ class up to
+// the set N_j: every flow that can ever precede the tagged one contributes
+// its bounding function, but the Δ constants themselves only affect
+// *delays* (cross traffic admitted ahead of the tagged arrival occupies
+// the buffer either way). Flows with Δ = −∞ drop out entirely.
+func BacklogBoundStatNode(c float64, through envelope.EBB, cross []StatFlow, eps float64) (BacklogResult, error) {
+	if c <= 0 || math.IsNaN(c) {
+		return BacklogResult{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+	}
+	if eps <= 0 || eps >= 1 {
+		return BacklogResult{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+	}
+	if err := through.Validate(); err != nil {
+		return BacklogResult{}, fmt.Errorf("core: tagged flow: %w", err)
+	}
+	active := make([]StatFlow, 0, len(cross))
+	totalRho := through.Rho
+	for i, f := range cross {
+		if err := f.EBB.Validate(); err != nil {
+			return BacklogResult{}, fmt.Errorf("core: cross flow %d: %w", i, err)
+		}
+		if math.IsInf(f.Delta, -1) {
+			continue
+		}
+		active = append(active, f)
+		totalRho += f.EBB.Rho
+	}
+	n := float64(len(active) + 1)
+	gmax := (c - totalRho) / n
+	if gmax <= 0 {
+		return BacklogResult{}, fmt.Errorf("%w: total rate %g at capacity %g", ErrUnstable, totalRho, c)
+	}
+
+	eval := func(gamma float64) (BacklogResult, error) {
+		_, bg, err := through.SamplePath(gamma)
+		if err != nil {
+			return BacklogResult{}, err
+		}
+		bounds := []envelope.ExpBound{bg}
+		for _, f := range active {
+			_, b, err := f.EBB.SamplePath(gamma)
+			if err != nil {
+				return BacklogResult{}, err
+			}
+			bounds = append(bounds, b)
+		}
+		bound, err := envelope.Merge(bounds...)
+		if err != nil {
+			return BacklogResult{}, err
+		}
+		return BacklogResult{B: bound.SigmaFor(eps), Gamma: gamma, Bound: bound}, nil
+	}
+	const gridN = 48
+	bestG, bestB := 0.0, math.Inf(1)
+	for i := 1; i <= gridN; i++ {
+		g := gmax * float64(i) / float64(gridN+1)
+		if r, err := eval(g); err == nil && r.B < bestB {
+			bestB, bestG = r.B, g
+		}
+	}
+	if math.IsInf(bestB, 1) {
+		return BacklogResult{}, fmt.Errorf("%w: no feasible gamma", ErrUnstable)
+	}
+	g := goldenMin(func(g float64) float64 {
+		r, err := eval(g)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return r.B
+	}, math.Max(bestG-gmax/gridN, gmax*1e-9), math.Min(bestG+gmax/gridN, gmax*(1-1e-9)), 48)
+	res, err := eval(g)
+	if err != nil || res.B > bestB {
+		return eval(bestG)
+	}
+	return res, nil
+}
+
+// OutputEBB returns the EBB characterization of a flow's departures from a
+// blind-multiplexing node — the statistical output burstiness used to
+// chain node-by-node analyses (see AdditiveBound for the derivation): the
+// rate grows by the sample-path slack γ and the bounding function absorbs
+// the service curve's.
+func OutputEBB(c float64, through, crossAgg envelope.EBB, gamma float64) (envelope.EBB, error) {
+	if c <= 0 {
+		return envelope.EBB{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+	}
+	if gamma <= 0 {
+		return envelope.EBB{}, fmt.Errorf("core: gamma must be positive, got %g", gamma)
+	}
+	left := c - crossAgg.Rho - gamma
+	if through.Rho+gamma > left {
+		return envelope.EBB{}, fmt.Errorf("%w: through rate %g vs leftover %g", ErrUnstable, through.Rho, left)
+	}
+	_, bg, err := through.SamplePath(gamma)
+	if err != nil {
+		return envelope.EBB{}, err
+	}
+	_, bs, err := crossAgg.SamplePath(gamma)
+	if err != nil {
+		return envelope.EBB{}, err
+	}
+	merged, err := envelope.Merge(bg, bs)
+	if err != nil {
+		return envelope.EBB{}, err
+	}
+	return envelope.EBB{
+		M:     math.Max(1, merged.M),
+		Rho:   through.Rho + gamma,
+		Alpha: merged.Alpha,
+	}, nil
+}
+
+// MaxCrossLoad finds, by bisection, the largest cross-traffic rate ρ_c
+// such that the end-to-end delay bound of the given path template stays at
+// or below targetD — the capacity-planning inverse of DelayBound. The
+// returned configuration has Cross.Rho set to the admissible maximum.
+//
+// Near the stability boundary the bound grows only logarithmically in the
+// remaining slack (at fixed α), so very large targets may saturate at the
+// stability-limiting load: the returned bound is then well below the
+// target and the binding constraint is stability, not delay.
+func MaxCrossLoad(cfg PathConfig, eps, targetD float64) (PathConfig, Result, error) {
+	if targetD <= 0 {
+		return PathConfig{}, Result{}, fmt.Errorf("core: target delay must be positive, got %g", targetD)
+	}
+	if err := cfg.Validate(); err != nil {
+		return PathConfig{}, Result{}, err
+	}
+	boundAt := func(rhoc float64) (Result, error) {
+		c := cfg
+		c.Cross.Rho = rhoc
+		return DelayBound(c, eps)
+	}
+	// Zero cross load must meet the target, otherwise no load does.
+	lo := 0.0
+	r0, err := boundAt(lo)
+	if err != nil {
+		return PathConfig{}, Result{}, err
+	}
+	if r0.D > targetD {
+		return PathConfig{}, Result{}, fmt.Errorf("%w: target %g unreachable even without cross traffic (bound %g)",
+			ErrUnstable, targetD, r0.D)
+	}
+	hi := cfg.C - cfg.Through.Rho // beyond this the path is unstable
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		r, err := boundAt(mid)
+		if err != nil || r.D > targetD {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	out := cfg
+	out.Cross.Rho = lo
+	res, err := DelayBound(out, eps)
+	if err != nil {
+		return PathConfig{}, Result{}, err
+	}
+	return out, res, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deltasched/internal/envelope"
+)
+
+func TestBacklogBoundStatNodeBasics(t *testing.T) {
+	through := envelope.EBB{M: 1, Rho: 15, Alpha: 0.3}
+	cross := []StatFlow{statFlow(35, 0.3, 0)}
+	res, err := BacklogBoundStatNode(100, through, cross, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.B <= 0 || math.IsInf(res.B, 0) {
+		t.Fatalf("implausible backlog bound %g", res.B)
+	}
+	// Backlog bound equals the σ of the merged bounding function at eps.
+	almost(t, res.Bound.At(res.B), 1e-9, 1e-14, "B inverts the bound")
+	// A laxer eps shrinks the bound.
+	lax, err := BacklogBoundStatNode(100, through, cross, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lax.B >= res.B {
+		t.Fatalf("laxer eps should shrink the backlog bound: %g vs %g", lax.B, res.B)
+	}
+}
+
+func TestBacklogBoundIgnoresDeltaMagnitude(t *testing.T) {
+	// Any finite Δ (or +∞) keeps the flow in N_j, so the backlog bound is
+	// the same; Δ=−∞ removes it.
+	through := envelope.EBB{M: 1, Rho: 15, Alpha: 0.3}
+	mk := func(delta float64) float64 {
+		res, err := BacklogBoundStatNode(100, through, []StatFlow{statFlow(35, 0.3, delta)}, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.B
+	}
+	b0 := mk(0)
+	almost(t, mk(25), b0, 1e-9, "finite positive delta")
+	almost(t, mk(math.Inf(1)), b0, 1e-9, "BMUX delta")
+	if excl := mk(math.Inf(-1)); excl >= b0 {
+		t.Fatalf("excluding the cross flow should shrink the backlog bound: %g vs %g", excl, b0)
+	}
+}
+
+func TestBacklogBoundHoldsInSimulationSpirit(t *testing.T) {
+	// Cross-check against the delay bound: for a FIFO node, B <= C·d holds
+	// between the bounds (Little's-law-flavoured consistency: the FIFO
+	// delay bound is d = σ/C and the backlog bound is the same σ).
+	through := envelope.EBB{M: 1, Rho: 15, Alpha: 0.3}
+	cross := []StatFlow{statFlow(35, 0.3, 0)}
+	b, err := BacklogBoundStatNode(100, through, cross, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DelayBoundStatNode(100, through, cross, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, b.B, 100*d.D, 1e-6*b.B, "FIFO: backlog bound equals C times delay bound")
+}
+
+func TestOutputEBBDegradation(t *testing.T) {
+	through := envelope.EBB{M: 1, Rho: 10, Alpha: 0.5}
+	cross := envelope.EBB{M: 1, Rho: 30, Alpha: 0.5}
+	out, err := OutputEBB(100, through, cross, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, out.Rho, 11, 1e-12, "rate grows by gamma")
+	if out.Alpha >= through.Alpha {
+		t.Errorf("decay must degrade: %g vs input %g", out.Alpha, through.Alpha)
+	}
+	if out.M < 1 {
+		t.Errorf("prefactor must stay >= 1, got %g", out.M)
+	}
+	// Chaining degrades monotonically: two hops worse than one.
+	out2, err := OutputEBB(100, out, cross, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Alpha >= out.Alpha || out2.Rho <= out.Rho {
+		t.Errorf("second hop must degrade further: %+v vs %+v", out2, out)
+	}
+}
+
+func TestOutputEBBValidation(t *testing.T) {
+	through := envelope.EBB{M: 1, Rho: 10, Alpha: 0.5}
+	cross := envelope.EBB{M: 1, Rho: 30, Alpha: 0.5}
+	if _, err := OutputEBB(0, through, cross, 1); err == nil {
+		t.Error("zero capacity must be rejected")
+	}
+	if _, err := OutputEBB(100, through, cross, 0); err == nil {
+		t.Error("zero gamma must be rejected")
+	}
+	if _, err := OutputEBB(40, through, cross, 1); err == nil {
+		t.Error("unstable node must be rejected")
+	}
+}
+
+func TestMaxCrossLoad(t *testing.T) {
+	cfg := paperPathConfig(5, 0)
+	cfg.Cross.Rho = 0 // template; MaxCrossLoad fills it in
+	target := 10.0    // within the attainable range (D(0)≈3, saturation ≈48)
+	out, res, err := MaxCrossLoad(cfg, 1e-9, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D > target+1e-6 {
+		t.Fatalf("returned load violates the target: %g > %g", res.D, target)
+	}
+	if target-res.D > 0.05*target {
+		t.Fatalf("returned load not tight against the target: bound %g vs target %g", res.D, target)
+	}
+	// Slightly more load must break the target.
+	over := out
+	over.Cross.Rho *= 1.05
+	if r, err := DelayBound(over, 1e-9); err == nil && r.D <= target {
+		t.Fatalf("5%% more cross load should exceed the target: %g <= %g", r.D, target)
+	}
+}
+
+func TestMaxCrossLoadUnreachable(t *testing.T) {
+	cfg := paperPathConfig(5, 0)
+	if _, _, err := MaxCrossLoad(cfg, 1e-9, 1e-6); err == nil {
+		t.Fatal("microscopic target must be unreachable")
+	}
+	if _, _, err := MaxCrossLoad(cfg, 1e-9, -1); err == nil {
+		t.Fatal("negative target must be rejected")
+	}
+}
+
+func TestMaxCrossLoadMonotoneInTarget(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	cfg := paperPathConfig(3, 0)
+	prev := 0.0
+	for i, target := range []float64{4, 8, 16, 32} {
+		out, _, err := MaxCrossLoad(cfg, 1e-9, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && out.Cross.Rho < prev-1e-6 {
+			t.Fatalf("admissible load should grow with the target: %g < %g", out.Cross.Rho, prev)
+		}
+		prev = out.Cross.Rho
+	}
+	_ = r
+}

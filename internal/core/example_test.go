@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"fmt"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/minplus"
+)
+
+// ExampleDelayBound computes the paper's headline quantity: a
+// probabilistic end-to-end delay bound for a FIFO path.
+func ExampleDelayBound() {
+	cfg := core.PathConfig{
+		H:       5,   // five hops
+		C:       100, // 100 kbit per 1 ms slot = 100 Mbps
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0, // FIFO
+	}
+	res, err := core.DelayBound(cfg, 1e-9)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P(W > %.0f ms) <= 1e-9\n", res.D)
+	// Output:
+	// P(W > 26 ms) <= 1e-9
+}
+
+// ExampleDelayBoundDet reproduces a classic textbook result with the
+// Theorem 2 machinery: the tight FIFO delay bound for leaky buckets is the
+// total burst over the link rate.
+func ExampleDelayBoundDet() {
+	envs := map[core.FlowID]minplus.Curve{
+		0: minplus.Affine(2, 4),  // flow 0: rate 2, burst 4
+		1: minplus.Affine(3, 12), // flow 1: rate 3, burst 12
+	}
+	d, err := core.DelayBoundDet(10, 0, envs, core.FIFO{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("d = %.2f (= (4+12)/10)\n", d)
+	// Output:
+	// d = 1.60 (= (4+12)/10)
+}
+
+// ExampleEDF_Delta shows how a scheduler becomes a Δ-matrix.
+func ExampleEDF_Delta() {
+	p := core.EDF{Deadline: map[core.FlowID]float64{0: 5, 1: 50}}
+	fmt.Println(p.Delta(0, 1)) // urgent flow vs lenient flow
+	fmt.Println(p.Delta(1, 0))
+	// Output:
+	// -45
+	// 45
+}
+
+// ExampleEDFProvisioned runs the paper's self-referential deadline
+// provisioning: d*_0 is tied to the bound it produces.
+func ExampleEDFProvisioned() {
+	cfg := core.PathConfig{
+		H:       5,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+	}
+	res, d0, err := core.EDFProvisioned(cfg, 1e-9, 10) // d*_c = 10·d*_0
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("bound %.0f ms with per-node deadline %.0f ms\n", res.D, d0)
+	// Output:
+	// bound 16 ms with per-node deadline 3 ms
+}
+
+// ExampleBMUXClosedForm checks the generic solver against the paper's
+// Eq. (43).
+func ExampleBMUXClosedForm() {
+	d := core.BMUXClosedForm(5, 100, 1, 35, 250)
+	fmt.Printf("%.2f\n", d)
+	// Output:
+	// 4.17
+}
+
+// ExampleSchedulableDet is admission control in three lines: can flow 0
+// tolerate a 2 ms delay on this link?
+func ExampleSchedulableDet() {
+	envs := map[core.FlowID]minplus.Curve{
+		0: minplus.Affine(2, 4),
+		1: minplus.Affine(3, 12),
+	}
+	ok, err := core.SchedulableDet(10, 0, envs, core.FIFO{}, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ok)
+	// Output:
+	// true
+}

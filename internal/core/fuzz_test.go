@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInnerMinimize checks, for arbitrary parameters, that the exact
+// solver's reported optimum is feasible and consistent, and that it never
+// loses to the simple candidate X = σ/(C−ρ_c−Hγ) (the BMUX corner, always
+// feasible for Δ=+∞-like regimes) where applicable.
+func FuzzInnerMinimize(f *testing.F) {
+	f.Add(3, 100.0, 1.0, 40.0, 0.0, 250.0)
+	f.Add(1, 80.0, 2.0, 10.0, math.Inf(1), 100.0)
+	f.Add(8, 120.0, 0.5, 60.0, -25.0, 500.0)
+	f.Fuzz(func(t *testing.T, h int, c, gamma, rhoc, delta, sigma float64) {
+		if h < 1 || h > 32 {
+			t.Skip()
+		}
+		bad := func(x float64) bool { return math.IsNaN(x) }
+		if bad(c) || bad(gamma) || bad(rhoc) || bad(delta) || bad(sigma) {
+			t.Skip()
+		}
+		if c <= 0 || c > 1e6 || gamma <= 0 || rhoc < 0 || sigma < 0 || sigma > 1e9 {
+			t.Skip()
+		}
+		// Stability: C − ρc − Hγ must stay clearly positive.
+		if c-rhoc-float64(h)*gamma <= 1e-6*c {
+			t.Skip()
+		}
+		d, x, thetas := innerMinimize(h, c, gamma, rhoc, delta, sigma)
+		if math.IsNaN(d) || d < 0 {
+			t.Fatalf("invalid optimum %g", d)
+		}
+		beta := rhoc + gamma
+		sum := x
+		for i, th := range thetas {
+			ch := c - float64(i)*gamma
+			cross := x + math.Min(delta, th)
+			if cross < 0 {
+				cross = 0
+			}
+			if ch*(x+th)-beta*cross < sigma-1e-6*(1+sigma) {
+				t.Fatalf("constraint %d violated at the optimum", i+1)
+			}
+			if th < 0 {
+				t.Fatalf("negative theta %g", th)
+			}
+			sum += th
+		}
+		if math.Abs(sum-d) > 1e-6*(1+d) {
+			t.Fatalf("d=%g does not equal X+Σθ=%g", d, sum)
+		}
+	})
+}

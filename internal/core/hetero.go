@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"deltasched/internal/envelope"
+)
+
+// NodeSpec describes one node of a non-homogeneous path (the paper's
+// closing remark of Section IV): each node may have its own capacity,
+// cross-traffic aggregate, and scheduler constant.
+type NodeSpec struct {
+	C     float64      // link capacity
+	Cross envelope.EBB // cross-traffic aggregate at this node
+	Delta float64      // Δ_{0,h}: scheduler constant at this node (may be ±Inf)
+}
+
+// HeteroPath is a path of heterogeneous Δ-scheduled nodes crossed by a
+// single through aggregate.
+type HeteroPath struct {
+	Through envelope.EBB
+	Nodes   []NodeSpec
+}
+
+// Validate checks the path description.
+func (p HeteroPath) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("core: hetero path needs at least one node")
+	}
+	if err := p.Through.Validate(); err != nil {
+		return fmt.Errorf("core: through traffic: %w", err)
+	}
+	for i, n := range p.Nodes {
+		if n.C <= 0 || math.IsNaN(n.C) {
+			return fmt.Errorf("core: node %d capacity must be positive, got %g", i+1, n.C)
+		}
+		if err := n.Cross.Validate(); err != nil {
+			return fmt.Errorf("core: node %d cross traffic: %w", i+1, err)
+		}
+		if math.IsNaN(n.Delta) {
+			return fmt.Errorf("core: node %d Delta is NaN", i+1)
+		}
+	}
+	return nil
+}
+
+// GammaMax returns the stability limit on the rate slack for the
+// heterogeneous path: every node h must satisfy
+// C_h − (h−1)γ − (ρ_c^h + γ) > ρ + γ, i.e. (h+1)γ < C_h − ρ_c^h − ρ.
+func (p HeteroPath) GammaMax() float64 {
+	gmax := math.Inf(1)
+	for i, n := range p.Nodes {
+		g := (n.C - n.Cross.Rho - p.Through.Rho) / float64(i+2)
+		if g < gmax {
+			gmax = g
+		}
+	}
+	return gmax
+}
+
+// DelayBoundHetero computes the probabilistic end-to-end delay bound over
+// a heterogeneous path, reducing — exactly as in the homogeneous case — to
+// a single-variable minimization whose optimum lies on one of at most H+1
+// explicitly computable points (the paper's closing remark of Sec. IV).
+func DelayBoundHetero(p HeteroPath, eps float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return Result{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+	}
+	gmax := p.GammaMax()
+	if gmax <= 0 {
+		return Result{}, fmt.Errorf("%w: heterogeneous path infeasible", ErrUnstable)
+	}
+	eval := func(g float64) float64 {
+		r, err := heteroAtGamma(p, eps, g)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return r.D
+	}
+	const gridN = 48
+	bestG, bestD := 0.0, math.Inf(1)
+	for i := 1; i <= gridN; i++ {
+		g := gmax * float64(i) / float64(gridN+1)
+		if d := eval(g); d < bestD {
+			bestD, bestG = d, g
+		}
+	}
+	if math.IsInf(bestD, 1) {
+		return Result{}, fmt.Errorf("%w: no feasible gamma below %g", ErrUnstable, gmax)
+	}
+	g := goldenMin(eval, math.Max(bestG-gmax/gridN, gmax*1e-9), math.Min(bestG+gmax/gridN, gmax*(1-1e-9)), 50)
+	res, err := heteroAtGamma(p, eps, g)
+	if err != nil || res.D > bestD {
+		return heteroAtGamma(p, eps, bestG)
+	}
+	return res, nil
+}
+
+func heteroAtGamma(p HeteroPath, eps, gamma float64) (Result, error) {
+	h := len(p.Nodes)
+	if gamma <= 0 || gamma >= p.GammaMax() {
+		return Result{}, fmt.Errorf("core: gamma %g outside (0, %g)", gamma, p.GammaMax())
+	}
+
+	// Bounding function: through sample-path envelope + per-node service
+	// bounds, the first H−1 with the convolution union-bound factor.
+	_, bg, err := p.Through.SamplePath(gamma)
+	if err != nil {
+		return Result{}, err
+	}
+	bounds := []envelope.ExpBound{bg}
+	for i, n := range p.Nodes {
+		if math.IsInf(n.Delta, -1) {
+			// Cross traffic never precedes at this node (Theorem 1 excludes
+			// it from N_{−j}); its bounding function is not paid.
+			continue
+		}
+		_, bc, err := n.Cross.SamplePath(gamma)
+		if err != nil {
+			return Result{}, err
+		}
+		if i < h-1 {
+			bc.M /= 1 - math.Exp(-bc.Alpha*gamma)
+		}
+		bounds = append(bounds, bc)
+	}
+	bound, err := envelope.Merge(bounds...)
+	if err != nil {
+		return Result{}, err
+	}
+	sigma := bound.SigmaFor(eps)
+
+	// Inner minimization over X with per-node constraint parameters.
+	type nodeParams struct{ ch, beta, delta float64 }
+	params := make([]nodeParams, h)
+	cands := []float64{0}
+	for i, n := range p.Nodes {
+		ch := n.C - float64(i)*gamma
+		beta := n.Cross.Rho + gamma
+		delta := n.Delta
+		params[i] = nodeParams{ch, beta, delta}
+		switch {
+		case math.IsInf(delta, -1):
+			cands = append(cands, sigma/ch)
+		case delta <= 0:
+			if x := sigma / ch; x <= -delta {
+				cands = append(cands, x)
+			}
+			if x := (sigma + beta*delta) / (ch - beta); x >= -delta {
+				cands = append(cands, x)
+			}
+			cands = append(cands, -delta)
+		default:
+			cands = append(cands, sigma/(ch-beta))
+			if !math.IsInf(delta, 1) {
+				if x := sigma/(ch-beta) - delta; x > 0 {
+					cands = append(cands, x)
+				}
+			}
+		}
+	}
+	best, xOpt := math.Inf(1), 0.0
+	for _, x := range cands {
+		if x < 0 || math.IsNaN(x) {
+			continue
+		}
+		total := x
+		for _, np := range params {
+			total += thetaAt(np.ch, np.beta, np.delta, sigma, x)
+		}
+		if total < best {
+			best, xOpt = total, x
+		}
+	}
+	thetas := make([]float64, h)
+	for i, np := range params {
+		thetas[i] = thetaAt(np.ch, np.beta, np.delta, sigma, xOpt)
+	}
+	return Result{D: best, Sigma: sigma, Gamma: gamma, X: xOpt, Theta: thetas, Bound: bound}, nil
+}

@@ -1,0 +1,54 @@
+package envelope_test
+
+import (
+	"fmt"
+
+	"deltasched/internal/envelope"
+)
+
+// ExampleMMOO_EffectiveBandwidth evaluates the paper's traffic model: the
+// effective bandwidth interpolates between mean and peak rate as the decay
+// parameter grows.
+func ExampleMMOO_EffectiveBandwidth() {
+	src := envelope.PaperSource()
+	for _, s := range []float64{0.001, 1, 1000} {
+		eb, err := src.EffectiveBandwidth(s)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("eb(%g) = %.3f\n", s, eb)
+	}
+	// Output:
+	// eb(0.001) = 0.150
+	// eb(1) = 1.395
+	// eb(1000) = 1.500
+}
+
+// ExampleMerge combines bounding functions exactly (the paper's Eq. 33):
+// N identical exponential bounds merge to (N·M, α/N).
+func ExampleMerge() {
+	b := envelope.ExpBound{M: 3, Alpha: 0.8}
+	merged, err := envelope.Merge(b, b, b, b)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("M = %.0f, alpha = %.1f\n", merged.M, merged.Alpha)
+	// Output:
+	// M = 12, alpha = 0.2
+}
+
+// ExampleEBB_SamplePath turns an increment bound into the discrete-time
+// sample-path envelope the end-to-end analysis consumes.
+func ExampleEBB_SamplePath() {
+	e := envelope.EBB{M: 1, Rho: 10, Alpha: 0.5}
+	rate, bound, err := e.SamplePath(2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("G(t) = %.0f·t with M = %.2f\n", rate, bound.M)
+	// Output:
+	// G(t) = 12·t with M = 1.58
+}

@@ -1,0 +1,195 @@
+package envelope
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MarkovSource is a general discrete-time Markov-modulated source with an
+// arbitrary number of states: while in state i the source emits Rates[i]
+// data units per slot, and the state evolves according to the row-
+// stochastic transition matrix Trans. The two-state MMOO type is the
+// special case used in the paper's examples; this generalization supports
+// the extension experiments (multi-level video-like sources).
+type MarkovSource struct {
+	Rates []float64   // per-slot emission in each state
+	Trans [][]float64 // row-stochastic transition matrix
+}
+
+// Validate checks shape and stochasticity of the chain.
+func (ms MarkovSource) Validate() error {
+	n := len(ms.Rates)
+	if n == 0 {
+		return errors.New("envelope: Markov source needs at least one state")
+	}
+	if len(ms.Trans) != n {
+		return fmt.Errorf("envelope: transition matrix has %d rows, want %d", len(ms.Trans), n)
+	}
+	for i, row := range ms.Trans {
+		if len(row) != n {
+			return fmt.Errorf("envelope: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("envelope: transition probability out of range in row %d", i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("envelope: transition row %d sums to %g, want 1", i, sum)
+		}
+	}
+	for i, r := range ms.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("envelope: rate %d out of range: %g", i, r)
+		}
+	}
+	return nil
+}
+
+// Stationary returns the stationary distribution of the chain, computed by
+// power iteration (the chains of interest are small and aperiodic enough;
+// periodic chains are averaged over two steps).
+func (ms MarkovSource) Stationary() ([]float64, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ms.Rates)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 100000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * ms.Trans[i][j]
+			}
+		}
+		diff := 0.0
+		for j := range next {
+			avg := (next[j] + pi[j]) / 2 // damping handles period-2 chains
+			diff += math.Abs(avg - pi[j])
+			pi[j] = avg
+		}
+		if diff < 1e-14 {
+			break
+		}
+	}
+	return pi, nil
+}
+
+// MeanRate returns the stationary mean emission per slot.
+func (ms MarkovSource) MeanRate() (float64, error) {
+	pi, err := ms.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	mean := 0.0
+	for i, p := range pi {
+		mean += p * ms.Rates[i]
+	}
+	return mean, nil
+}
+
+// PeakRate returns the largest per-slot emission.
+func (ms MarkovSource) PeakRate() float64 {
+	peak := 0.0
+	for _, r := range ms.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// EffectiveBandwidth returns eb(s) = (1/s)·log ρ( P·diag(e^{s·r}) ), the
+// Kesidis/Chang effective bandwidth of a Markov-modulated source, computed
+// by power iteration on the nonnegative matrix M(s)_{ij} = P_{ij}·e^{s·r_j}.
+func (ms MarkovSource) EffectiveBandwidth(s float64) (float64, error) {
+	if err := ms.Validate(); err != nil {
+		return 0, err
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("envelope: effective bandwidth needs s > 0, got %g", s)
+	}
+	n := len(ms.Rates)
+	// Work with the scaled matrix P_{ij}·e^{s(r_j − peak)} to avoid
+	// overflow; its spectral radius is ρ·e^{−s·peak}.
+	peak := ms.PeakRate()
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = ms.Trans[i][j] * math.Exp(s*(ms.Rates[j]-peak))
+		}
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	lambda := 0.0
+	next := make([]float64, n)
+	for iter := 0; iter < 200000; iter++ {
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			next[i] = 0
+			for j := 0; j < n; j++ {
+				next[i] += m[i][j] * v[j]
+			}
+			norm += next[i]
+		}
+		if norm == 0 {
+			return 0, errors.New("envelope: degenerate chain in effective bandwidth")
+		}
+		prev := lambda
+		lambda = norm / floatSum(v)
+		for i := range v {
+			v[i] = next[i] / norm * float64(n)
+		}
+		if iter > 10 && math.Abs(lambda-prev) < 1e-14*lambda {
+			break
+		}
+	}
+	return peak + math.Log(lambda)/s, nil
+}
+
+// TwoState converts a two-state MMOO into the general representation, for
+// cross-checking the closed-form effective bandwidth.
+func (m MMOO) TwoState() MarkovSource {
+	return MarkovSource{
+		Rates: []float64{0, m.Peak},
+		Trans: [][]float64{
+			{m.P11, 1 - m.P11},
+			{1 - m.P22, m.P22},
+		},
+	}
+}
+
+func floatSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// EBBAggregate returns the EBB characterization of n statistically
+// independent copies of the source at decay parameter s — the general-
+// Markov counterpart of MMOO.EBBAggregate, letting the multi-node analysis
+// run unchanged on richer traffic models.
+func (ms MarkovSource) EBBAggregate(n, s float64) (EBB, error) {
+	if n < 0 {
+		return EBB{}, fmt.Errorf("envelope: aggregate size must be >= 0, got %g", n)
+	}
+	eb, err := ms.EffectiveBandwidth(s)
+	if err != nil {
+		return EBB{}, err
+	}
+	return EBB{M: 1, Rho: n * eb, Alpha: s}, nil
+}

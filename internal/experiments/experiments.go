@@ -1,0 +1,292 @@
+// Package experiments parameterizes and runs the paper's numerical
+// examples (Section V): every figure of the evaluation is generated from
+// the functions here, with the exact setup of the paper — MMOO sources
+// with P = 1.5 kbit per 1 ms slot, p11 = 0.989, p22 = 0.9 (1.5 Mbps peak,
+// ≈0.15 Mbps mean per flow), links of C = 100 Mbps = 100 kbit/slot, and
+// end-to-end delay bounds at violation probability ε = 10⁻⁹.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/plot"
+)
+
+// Setup fixes the shared parameters of the paper's examples.
+type Setup struct {
+	Source   envelope.MMOO // per-flow traffic model
+	Capacity float64       // link rate in kbit per slot (100 = 100 Mbps at 1 ms slots)
+	Eps      float64       // violation probability
+	PerFlow  float64       // nominal per-flow average used in the paper's U ↔ N mapping
+	AlphaLo  float64       // α sweep range for the EBB decay parameter
+	AlphaHi  float64
+}
+
+// PaperSetup returns the configuration used throughout Section V.
+func PaperSetup() Setup {
+	return Setup{
+		Source:   envelope.PaperSource(),
+		Capacity: 100,
+		Eps:      1e-9,
+		PerFlow:  0.15, // the paper equates N flows with U = N·0.15/100
+		AlphaLo:  1e-3,
+		AlphaHi:  50,
+	}
+}
+
+// FlowCount translates a utilization into the paper's flow count
+// N = U·C/0.15 (fractional counts are fine for the analysis).
+func (s Setup) FlowCount(util float64) float64 {
+	return util * s.Capacity / s.PerFlow
+}
+
+// Scheduler selects the discipline evaluated in an example.
+type Scheduler int
+
+// The schedulers compared in the paper's examples.
+const (
+	BMUX Scheduler = iota + 1
+	FIFO
+	// EDFRatio10 provisions d*_0 = d_e2e/H and d*_c = 10·d*_0 (Examples 1, 3).
+	EDFRatio10
+	// EDFThroughHalf is Example 2's d*_0 = d*_c/2 (through favoured).
+	EDFThroughHalf
+	// EDFThroughDouble is Example 2's d*_0 = 2·d*_c (through penalized).
+	EDFThroughDouble
+	// BMUXAdditive is the node-by-node baseline of Example 3.
+	BMUXAdditive
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case BMUX:
+		return "BMUX"
+	case FIFO:
+		return "FIFO"
+	case EDFRatio10:
+		return "EDF (d*c=10·d*0)"
+	case EDFThroughHalf:
+		return "EDF (d*0=d*c/2)"
+	case EDFThroughDouble:
+		return "EDF (d*0=2·d*c)"
+	case BMUXAdditive:
+		return "BMUX additive"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+func (s Scheduler) deadlineRatio() (ratio float64, isEDF bool) {
+	switch s {
+	case EDFRatio10:
+		return 10, true
+	case EDFThroughHalf:
+		return 2, true // d*_c = 2·d*_0
+	case EDFThroughDouble:
+		return 0.5, true // d*_c = d*_0/2
+	default:
+		return 0, false
+	}
+}
+
+// TrafficModel abstracts a source whose aggregates have an EBB description
+// at every decay parameter: both the paper's two-state MMOO and the
+// general MarkovSource satisfy it, so every sweep in this package runs on
+// either.
+type TrafficModel interface {
+	EBBAggregate(n, alpha float64) (envelope.EBB, error)
+}
+
+// Bound computes the end-to-end delay bound in slots (= ms) for the given
+// scheduler over H nodes with n0 through and nc cross flows, optimizing
+// both the rate slack γ and the EBB decay α.
+func (s Setup) Bound(sched Scheduler, h int, n0, nc float64) (float64, error) {
+	return s.BoundModel(s.Source, sched, h, n0, nc)
+}
+
+// BoundModel is Bound for an arbitrary traffic model (extension beyond the
+// paper's two-state sources).
+func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc float64) (float64, error) {
+	if h < 1 {
+		return 0, fmt.Errorf("experiments: H must be >= 1, got %d", h)
+	}
+	if model == nil {
+		return 0, fmt.Errorf("experiments: nil traffic model")
+	}
+	build := func(alpha float64) (core.PathConfig, error) {
+		through, err := model.EBBAggregate(n0, alpha)
+		if err != nil {
+			return core.PathConfig{}, err
+		}
+		cross, err := model.EBBAggregate(nc, alpha)
+		if err != nil {
+			return core.PathConfig{}, err
+		}
+		return core.PathConfig{H: h, C: s.Capacity, Through: through, Cross: cross}, nil
+	}
+
+	if ratio, isEDF := sched.deadlineRatio(); isEDF {
+		_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+			cfg, err := build(alpha)
+			if err != nil {
+				return 0, err
+			}
+			res, _, err := core.EDFProvisioned(cfg, s.Eps, ratio)
+			if err != nil {
+				return 0, err
+			}
+			return res.D, nil
+		}, s.AlphaLo, s.AlphaHi)
+		return d, err
+	}
+
+	var delta float64
+	switch sched {
+	case BMUX:
+		delta = math.Inf(1)
+	case FIFO:
+		delta = 0
+	case BMUXAdditive:
+		_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+			cfg, err := build(alpha)
+			if err != nil {
+				return 0, err
+			}
+			res, err := core.AdditiveBound(cfg, s.Eps)
+			if err != nil {
+				return 0, err
+			}
+			return res.D, nil
+		}, s.AlphaLo, s.AlphaHi)
+		return d, err
+	default:
+		return 0, fmt.Errorf("experiments: unknown scheduler %v", sched)
+	}
+
+	_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+		cfg, err := build(alpha)
+		if err != nil {
+			return 0, err
+		}
+		cfg.Delta0c = delta
+		res, err := core.DelayBound(cfg, s.Eps)
+		if err != nil {
+			return 0, err
+		}
+		return res.D, nil
+	}, s.AlphaLo, s.AlphaHi)
+	return d, err
+}
+
+// Example1 reproduces Fig. 2: end-to-end delay bounds of the through
+// traffic versus total utilization U for BMUX, FIFO, and EDF
+// (d*_c = 10·d*_0), with U_0 = 15% fixed (N_0 = 100 flows) and H ∈ hs.
+// Infeasible points (bounds do not exist that close to saturation) are
+// reported as NaN.
+func (s Setup) Example1(hs []int, utils []float64) ([]plot.Series, error) {
+	const n0 = 100 // the paper's fixed through population (U0 = 15%)
+	scheds := []Scheduler{BMUX, FIFO, EDFRatio10}
+	var out []plot.Series
+	for _, h := range hs {
+		for _, sched := range scheds {
+			h, sched := h, sched
+			var xs []float64
+			for _, u := range utils {
+				if s.FlowCount(u)-n0 >= 0 {
+					xs = append(xs, u)
+				}
+			}
+			ys, err := ParMap(0, xs, func(u float64) (float64, error) {
+				d, err := s.Bound(sched, h, n0, s.FlowCount(u)-n0)
+				if err != nil {
+					return math.NaN(), nil // infeasible at this load
+				}
+				return d, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ser := plot.Series{Label: fmt.Sprintf("%v H=%d", sched, h)}
+			for i, u := range xs {
+				ser.X = append(ser.X, u*100)
+				ser.Y = append(ser.Y, ys[i])
+			}
+			if len(ser.X) == 0 {
+				return nil, fmt.Errorf("experiments: example 1: no feasible points for %v H=%d", sched, h)
+			}
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}
+
+// Example2 reproduces Fig. 3: delay bounds versus the traffic mix U_c/U at
+// fixed total utilization U = 50%, for FIFO, BMUX and the two EDF
+// variants, H ∈ hs.
+func (s Setup) Example2(hs []int, mixes []float64) ([]plot.Series, error) {
+	const util = 0.5
+	scheds := []Scheduler{BMUX, FIFO, EDFThroughHalf, EDFThroughDouble}
+	total := s.FlowCount(util)
+	var out []plot.Series
+	for _, mix := range mixes {
+		if mix < 0 || mix > 1 {
+			return nil, fmt.Errorf("experiments: example 2: mix %g outside [0,1]", mix)
+		}
+	}
+	for _, h := range hs {
+		for _, sched := range scheds {
+			h, sched := h, sched
+			ys, err := ParMap(0, mixes, func(mix float64) (float64, error) {
+				nc := total * mix
+				d, err := s.Bound(sched, h, total-nc, nc)
+				if err != nil {
+					return math.NaN(), nil
+				}
+				return d, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ser := plot.Series{Label: fmt.Sprintf("%v H=%d", sched, h)}
+			ser.X = append(ser.X, mixes...)
+			ser.Y = append(ser.Y, ys...)
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}
+
+// Example3 reproduces Fig. 4: delay bounds versus path length H at
+// N_0 = N_c, for U ∈ utils, comparing BMUX, FIFO, EDF (d*_c = 10·d*_0)
+// and the additive node-by-node BMUX baseline.
+func (s Setup) Example3(hs []int, utils []float64) ([]plot.Series, error) {
+	scheds := []Scheduler{BMUX, FIFO, EDFRatio10, BMUXAdditive}
+	var out []plot.Series
+	for _, u := range utils {
+		n := s.FlowCount(u) / 2 // N0 = Nc
+		for _, sched := range scheds {
+			sched := sched
+			ys, err := ParMap(0, hs, func(h int) (float64, error) {
+				d, err := s.Bound(sched, h, n, n)
+				if err != nil {
+					return math.NaN(), nil
+				}
+				return d, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ser := plot.Series{Label: fmt.Sprintf("%v U=%g%%", sched, u*100)}
+			for i, h := range hs {
+				ser.X = append(ser.X, float64(h))
+				ser.Y = append(ser.Y, ys[i])
+			}
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParMapPreservesOrder(t *testing.T) {
+	in := make([]int, 50)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := ParMap(8, in, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParMapEmptyAndSequential(t *testing.T) {
+	out, err := ParMap(4, nil, func(x int) (int, error) { return x, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: out=%v err=%v", out, err)
+	}
+	out, err = ParMap(1, []int{1, 2, 3}, func(x int) (int, error) { return x + 1, nil })
+	if err != nil || out[2] != 4 {
+		t.Fatalf("sequential path: out=%v err=%v", out, err)
+	}
+	if _, err := ParMap[int, int](2, []int{1}, nil); err == nil {
+		t.Fatal("nil function must be rejected")
+	}
+}
+
+func TestParMapPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := ParMap(4, []int{0, 1, 2, 3, 4, 5}, func(x int) (int, error) {
+		if x == 3 {
+			return 0, sentinel
+		}
+		return x, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected wrapped sentinel, got %v", err)
+	}
+}
+
+func TestParMapBoundsConcurrency(t *testing.T) {
+	var cur, peak int64
+	_, err := ParMap(3, make([]int, 60), func(int) (int, error) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&cur, -1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 3 {
+		t.Fatalf("concurrency peak %d exceeds the worker cap 3", p)
+	}
+}
+
+func TestParMapMatchesSequentialOnBounds(t *testing.T) {
+	// Determinism: the same figure points computed in parallel and
+	// sequentially must agree bit-for-bit.
+	s := PaperSetup()
+	type pt struct{ h int }
+	pts := []pt{{1}, {2}, {3}, {4}}
+	nc := s.FlowCount(0.4) / 2
+	f := func(p pt) (float64, error) { return s.Bound(FIFO, p.h, nc, nc) }
+	seq, err := ParMap(1, pts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParMap(4, pts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

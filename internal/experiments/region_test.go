@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdmissibleRegionOrdering(t *testing.T) {
+	s := PaperSetup()
+	spec := RegionSpec{Capacity: 50, D1: 10, D2: 100}
+	series, err := s.AdmissibleRegion(spec, []float64{20, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, ser := range series {
+		byName[ser.Label] = ser.Y
+	}
+	edf, fifo, sp := byName["EDF"], byName["FIFO"], byName["SP (class 1 high)"]
+	if edf == nil || fifo == nil || sp == nil {
+		t.Fatalf("missing series: %v", byName)
+	}
+	for i := range edf {
+		if math.IsNaN(edf[i]) || math.IsNaN(fifo[i]) || math.IsNaN(sp[i]) {
+			t.Fatalf("point %d infeasible unexpectedly: edf=%g fifo=%g sp=%g", i, edf[i], fifo[i], sp[i])
+		}
+		// Single-node fact of the framework (see AdmissibleRegion doc):
+		// when the favoured class binds, a finite Δ<0 buys nothing at one
+		// hop — EDF and FIFO regions coincide here (the paper's Fig. 4
+		// shows the same coincidence at H=1).
+		if math.Abs(edf[i]-fifo[i]) > 1 {
+			t.Errorf("point %d: EDF %g and FIFO %g should coincide at a single node", i, edf[i], fifo[i])
+		}
+		// Strict priority excludes class 2 from class 1's bounding
+		// function entirely, so it admits at least as much.
+		if sp[i] < edf[i]-1 {
+			t.Errorf("point %d: SP region %g should contain EDF region %g", i, sp[i], edf[i])
+		}
+		// All regions shrink as class-1 load grows.
+		if i > 0 && edf[i] > edf[i-1]+1 {
+			t.Errorf("EDF region should shrink with class-1 load: %v", edf)
+		}
+	}
+	// With D2 very loose, strict priority admits strictly more.
+	last := len(edf) - 1
+	if sp[last] < 1.1*edf[last] {
+		t.Errorf("SP admission advantage expected with a loose D2: SP %g vs EDF %g", sp[last], edf[last])
+	}
+}
+
+func TestAdmissibleRegionValidation(t *testing.T) {
+	s := PaperSetup()
+	if _, err := s.AdmissibleRegion(RegionSpec{Capacity: 0, D1: 1, D2: 1}, []float64{1}); err == nil {
+		t.Error("zero capacity must be rejected")
+	}
+	if _, err := s.AdmissibleRegion(RegionSpec{Capacity: 10, D1: 1, D2: 1}, []float64{-1}); err == nil {
+		t.Error("negative population must be rejected")
+	}
+}

@@ -1,0 +1,294 @@
+// Package measure turns the cumulative arrival and departure curves
+// recorded by a simulation into delay statistics: virtual delays (the
+// paper's Eq. 6), bit-weighted delay distributions, quantiles, and
+// bound-violation frequencies.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DelayRecorder accumulates the cumulative arrivals A(t) at a flow's
+// network entrance and the cumulative departures D(t) at its exit, one
+// sample per slot.
+type DelayRecorder struct {
+	arr []float64 // A(t): cumulative arrivals after slot t
+	dep []float64 // D(t): cumulative departures after slot t
+}
+
+// Record appends one slot's cumulative totals. Totals must be
+// non-decreasing with dep <= arr (causality), up to a relative tolerance
+// that absorbs the floating-point drift of long fluid simulations.
+func (r *DelayRecorder) Record(cumArrivals, cumDepartures float64) error {
+	tol := 1e-9 * (1 + math.Abs(cumArrivals))
+	if n := len(r.arr); n > 0 {
+		if cumArrivals < r.arr[n-1]-tol || cumDepartures < r.dep[n-1]-tol {
+			return fmt.Errorf("measure: cumulative curves must be non-decreasing (A %g→%g, D %g→%g)",
+				r.arr[n-1], cumArrivals, r.dep[n-1], cumDepartures)
+		}
+	}
+	if cumDepartures > cumArrivals+tol {
+		return fmt.Errorf("measure: departures %g exceed arrivals %g", cumDepartures, cumArrivals)
+	}
+	if cumDepartures > cumArrivals {
+		cumDepartures = cumArrivals // clamp fp drift so delays stay causal
+	}
+	r.arr = append(r.arr, cumArrivals)
+	r.dep = append(r.dep, cumDepartures)
+	return nil
+}
+
+// Slots returns the number of recorded slots.
+func (r *DelayRecorder) Slots() int { return len(r.arr) }
+
+// Backlog returns A(t) − D(t) at the latest recorded slot.
+func (r *DelayRecorder) Backlog() float64 {
+	if len(r.arr) == 0 {
+		return 0
+	}
+	return r.arr[len(r.arr)-1] - r.dep[len(r.dep)-1]
+}
+
+// VirtualDelay returns W(t) = inf{ s >= 0 : D(t+s) >= A(t) } in slots
+// (paper Eq. 6) for a recorded slot t. It returns ok=false when the
+// recorded horizon ends before the slot-t arrivals have departed (the
+// delay is right-censored).
+func (r *DelayRecorder) VirtualDelay(t int) (delay int, ok bool) {
+	if t < 0 || t >= len(r.arr) {
+		return 0, false
+	}
+	target := r.arr[t]
+	// Binary search the first slot u >= t with D(u) >= target.
+	u := sort.Search(len(r.dep)-t, func(i int) bool {
+		return r.dep[t+i] >= target-1e-9
+	})
+	if t+u >= len(r.dep) {
+		return 0, false
+	}
+	return u, true
+}
+
+// Distribution summarizes the bit-weighted virtual delay distribution: the
+// delay seen by each slot's fresh arrivals, weighted by their volume.
+type Distribution struct {
+	delays    []int     // per-sample delay in slots
+	weights   []float64 // bits that experienced that delay
+	totalBits float64
+	censored  float64 // bits whose delay ran past the horizon
+}
+
+// Distribution computes the delay distribution of all recorded arrivals.
+func (r *DelayRecorder) Distribution() Distribution {
+	var d Distribution
+	prev := 0.0
+	for t := 0; t < len(r.arr); t++ {
+		bits := r.arr[t] - prev
+		prev = r.arr[t]
+		if bits <= 0 {
+			continue
+		}
+		w, ok := r.VirtualDelay(t)
+		if !ok {
+			d.censored += bits
+			continue
+		}
+		d.delays = append(d.delays, w)
+		d.weights = append(d.weights, bits)
+		d.totalBits += bits
+	}
+	return d
+}
+
+// ErrNoSamples indicates an empty distribution.
+var ErrNoSamples = errors.New("measure: no delay samples")
+
+// Quantile returns the smallest delay d such that at least fraction p of
+// the measured bits experienced delay <= d.
+func (d Distribution) Quantile(p float64) (int, error) {
+	if len(d.delays) == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("measure: quantile %g outside [0,1]", p)
+	}
+	type dw struct {
+		delay int
+		w     float64
+	}
+	all := make([]dw, len(d.delays))
+	for i := range d.delays {
+		all[i] = dw{d.delays[i], d.weights[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].delay < all[j].delay })
+	cum := 0.0
+	for _, s := range all {
+		cum += s.w
+		if cum >= p*d.totalBits-1e-12 {
+			return s.delay, nil
+		}
+	}
+	return all[len(all)-1].delay, nil
+}
+
+// ViolationFraction returns the fraction of measured bits whose delay
+// exceeded the given bound (an empirical estimate of P(W > d)). Censored
+// bits count as violations, which keeps the estimate conservative.
+func (d Distribution) ViolationFraction(bound float64) float64 {
+	if d.totalBits+d.censored == 0 {
+		return 0
+	}
+	viol := d.censored
+	for i, w := range d.delays {
+		if float64(w) > bound {
+			viol += d.weights[i]
+		}
+	}
+	return viol / (d.totalBits + d.censored)
+}
+
+// Max returns the largest measured delay in slots.
+func (d Distribution) Max() (int, error) {
+	if len(d.delays) == 0 {
+		return 0, ErrNoSamples
+	}
+	m := 0
+	for _, w := range d.delays {
+		if w > m {
+			m = w
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the bit-weighted mean delay in slots.
+func (d Distribution) Mean() (float64, error) {
+	if d.totalBits == 0 {
+		return 0, ErrNoSamples
+	}
+	s := 0.0
+	for i := range d.delays {
+		s += float64(d.delays[i]) * d.weights[i]
+	}
+	return s / d.totalBits, nil
+}
+
+// Samples returns the number of (slot) samples and the measured volume.
+func (d Distribution) Samples() (n int, bits float64) {
+	return len(d.delays), d.totalBits
+}
+
+// CensoredBits returns the volume whose delay was right-censored by the
+// simulation horizon.
+func (d Distribution) CensoredBits() float64 { return d.censored }
+
+// MeanRate returns the average arrival rate over the recorded horizon.
+func (r *DelayRecorder) MeanRate() float64 {
+	if len(r.arr) == 0 {
+		return 0
+	}
+	return r.arr[len(r.arr)-1] / float64(len(r.arr))
+}
+
+// MaxBacklog returns the largest instantaneous backlog A(t) − D(t).
+func (r *DelayRecorder) MaxBacklog() float64 {
+	m := 0.0
+	for i := range r.arr {
+		if b := r.arr[i] - r.dep[i]; b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Mean of a float slice; small shared helper for tests and tools.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CCDF returns the empirical complementary CDF of the bit-weighted delay
+// distribution as (delay, P(W > delay)) pairs, one per distinct measured
+// delay, sorted by delay. Censored bits count as exceeding every delay,
+// keeping the tail estimate conservative.
+func (d Distribution) CCDF() (delays []float64, probs []float64) {
+	if d.totalBits+d.censored == 0 {
+		return nil, nil
+	}
+	byDelay := make(map[int]float64)
+	for i, w := range d.weights {
+		byDelay[d.delays[i]] += w
+	}
+	keys := make([]int, 0, len(byDelay))
+	for k := range byDelay {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := d.totalBits + d.censored
+	above := total
+	for _, k := range keys {
+		above -= byDelay[k]
+		delays = append(delays, float64(k))
+		probs = append(probs, above/total)
+	}
+	return delays, probs
+}
+
+// ViolationCI estimates the bound-violation probability with a batch-means
+// confidence interval: the recorded horizon is split into `batches` equal
+// windows, the per-batch violation fractions are treated as approximately
+// independent samples (valid when batches are much longer than the traffic
+// correlation time), and the half-width is the usual normal-approximation
+// 1.96·s/√k. Returns the point estimate and half-width.
+func (r *DelayRecorder) ViolationCI(bound float64, batches int) (frac, half float64, err error) {
+	if batches < 2 {
+		return 0, 0, fmt.Errorf("measure: need at least 2 batches, got %d", batches)
+	}
+	n := len(r.arr)
+	if n < batches {
+		return 0, 0, fmt.Errorf("measure: %d slots cannot fill %d batches", n, batches)
+	}
+	size := n / batches
+	fracs := make([]float64, 0, batches)
+	for b := 0; b < batches; b++ {
+		lo, hi := b*size, (b+1)*size
+		var bits, viol float64
+		prev := 0.0
+		if lo > 0 {
+			prev = r.arr[lo-1]
+		}
+		for t := lo; t < hi; t++ {
+			fresh := r.arr[t] - prev
+			prev = r.arr[t]
+			if fresh <= 0 {
+				continue
+			}
+			bits += fresh
+			w, ok := r.VirtualDelay(t)
+			if !ok || float64(w) > bound {
+				viol += fresh
+			}
+		}
+		if bits > 0 {
+			fracs = append(fracs, viol/bits)
+		}
+	}
+	if len(fracs) < 2 {
+		return 0, 0, fmt.Errorf("measure: too few non-empty batches (%d)", len(fracs))
+	}
+	mean := Mean(fracs)
+	varSum := 0.0
+	for _, f := range fracs {
+		varSum += (f - mean) * (f - mean)
+	}
+	sd := math.Sqrt(varSum / float64(len(fracs)-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(len(fracs))), nil
+}

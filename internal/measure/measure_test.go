@@ -1,0 +1,218 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func record(t *testing.T, r *DelayRecorder, arr, dep []float64) {
+	t.Helper()
+	cumA, cumD := 0.0, 0.0
+	for i := range arr {
+		cumA += arr[i]
+		cumD += dep[i]
+		if err := r.Record(cumA, cumD); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVirtualDelayConstantLag(t *testing.T) {
+	// Arrivals of 1 per slot, departures delayed by exactly 3 slots.
+	var r DelayRecorder
+	arr := make([]float64, 20)
+	dep := make([]float64, 20)
+	for i := range arr {
+		arr[i] = 1
+		if i >= 3 {
+			dep[i] = 1
+		}
+	}
+	record(t, &r, arr, dep)
+	for tt := 0; tt < 15; tt++ {
+		w, ok := r.VirtualDelay(tt)
+		if !ok {
+			t.Fatalf("slot %d: delay censored unexpectedly", tt)
+		}
+		if w != 3 {
+			t.Fatalf("slot %d: delay %d, want 3", tt, w)
+		}
+	}
+}
+
+func TestVirtualDelayZeroWhenImmediate(t *testing.T) {
+	var r DelayRecorder
+	record(t, &r, []float64{2, 2, 2}, []float64{2, 2, 2})
+	for tt := 0; tt < 3; tt++ {
+		w, ok := r.VirtualDelay(tt)
+		if !ok || w != 0 {
+			t.Fatalf("slot %d: delay %d ok=%v, want 0 true", tt, w, ok)
+		}
+	}
+}
+
+func TestVirtualDelayCensoring(t *testing.T) {
+	var r DelayRecorder
+	record(t, &r, []float64{5, 0, 0}, []float64{1, 1, 1})
+	if _, ok := r.VirtualDelay(0); ok {
+		t.Fatal("delay should be censored: 2 of 5 units still queued at horizon")
+	}
+	if _, ok := r.VirtualDelay(99); ok {
+		t.Fatal("out-of-range slot must be censored")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	var r DelayRecorder
+	if err := r.Record(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(0.5, 0.5); err == nil {
+		t.Fatal("decreasing arrivals must be rejected")
+	}
+	if err := r.Record(2, 3); err == nil {
+		t.Fatal("departures above arrivals must be rejected")
+	}
+}
+
+func TestDistributionQuantileAndViolation(t *testing.T) {
+	// 10 slots, 1 unit each; delays: slots 0..8 → 1 slot, slot 9 → 5 slots.
+	var r DelayRecorder
+	arr := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0}
+	dep := []float64{0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 0}
+	record(t, &r, arr, dep)
+	d := r.Distribution()
+	n, bits := d.Samples()
+	if n != 10 || bits != 10 {
+		t.Fatalf("samples %d bits %g, want 10 and 10", n, bits)
+	}
+	q50, err := d.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q50 != 1 {
+		t.Fatalf("median %d, want 1", q50)
+	}
+	q99, err := d.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q99 != 5 {
+		t.Fatalf("p99 %d, want 5", q99)
+	}
+	if got := d.ViolationFraction(1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("violation fraction at d=1: %g, want 0.1", got)
+	}
+	if got := d.ViolationFraction(5); got != 0 {
+		t.Fatalf("violation fraction at d=5: %g, want 0", got)
+	}
+	mx, err := d.Max()
+	if err != nil || mx != 5 {
+		t.Fatalf("max delay %d (%v), want 5", mx, err)
+	}
+	mean, err := d.Mean()
+	if err != nil || math.Abs(mean-(9*1+5)/10.0) > 1e-12 {
+		t.Fatalf("mean %g (%v), want 1.4", mean, err)
+	}
+}
+
+func TestDistributionCensoredCountsAsViolation(t *testing.T) {
+	var r DelayRecorder
+	record(t, &r, []float64{4, 0}, []float64{1, 1}) // half the bits stuck
+	d := r.Distribution()
+	if d.CensoredBits() != 4 {
+		// VirtualDelay(0) censored: all 4 bits of slot 0 are censored.
+		t.Fatalf("censored bits %g, want 4", d.CensoredBits())
+	}
+	if got := d.ViolationFraction(100); got != 1 {
+		t.Fatalf("violation with only censored bits: %g, want 1", got)
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	var d Distribution
+	if _, err := d.Quantile(0.5); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("expected ErrNoSamples")
+	}
+	if _, err := d.Max(); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("expected ErrNoSamples")
+	}
+}
+
+func TestBacklogAndRates(t *testing.T) {
+	var r DelayRecorder
+	record(t, &r, []float64{3, 3, 0}, []float64{1, 2, 2})
+	if got := r.Backlog(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("backlog %g, want 1", got)
+	}
+	if got := r.MaxBacklog(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("max backlog %g, want 3", got)
+	}
+	if got := r.MeanRate(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean rate %g, want 2", got)
+	}
+	if r.Slots() != 3 {
+		t.Fatalf("slots %d, want 3", r.Slots())
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	var r DelayRecorder
+	// 4 units delayed 1 slot, 1 unit delayed 3 slots.
+	record(t, &r, []float64{4, 1, 0, 0, 0}, []float64{0, 4, 0, 0, 1})
+	d := r.Distribution()
+	delays, probs := d.CCDF()
+	if len(delays) != 2 {
+		t.Fatalf("expected 2 distinct delays, got %v", delays)
+	}
+	if delays[0] != 1 || math.Abs(probs[0]-0.2) > 1e-12 {
+		t.Fatalf("P(W>1) = %g at delay %g, want 0.2", probs[0], delays[0])
+	}
+	if delays[1] != 3 || probs[1] != 0 {
+		t.Fatalf("P(W>3) = %g at delay %g, want 0", probs[1], delays[1])
+	}
+
+	var empty Distribution
+	if ds, ps := empty.CCDF(); ds != nil || ps != nil {
+		t.Fatal("empty distribution should return nil CCDF")
+	}
+}
+
+func TestViolationCI(t *testing.T) {
+	var r DelayRecorder
+	// 100 slots: arrivals of 1 each, departures lag 2 slots everywhere.
+	cumA, cumD := 0.0, 0.0
+	for i := 0; i < 100; i++ {
+		cumA++
+		if i >= 2 {
+			cumD++
+		}
+		if err := r.Record(cumA, cumD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All delays are 2: violations of bound 1 are (nearly) total, of bound
+	// 3 none. The tail slots censor, counting as violations.
+	frac, half, err := r.ViolationCI(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.95 {
+		t.Fatalf("violation estimate %g (±%g), want ≈1", frac, half)
+	}
+	frac, _, err = r.ViolationCI(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > 0.1 {
+		t.Fatalf("violation estimate %g, want ≈0 (only the censored tail)", frac)
+	}
+	if _, _, err := r.ViolationCI(1, 1); err == nil {
+		t.Fatal("single batch must be rejected")
+	}
+	var empty DelayRecorder
+	if _, _, err := empty.ViolationCI(1, 2); err == nil {
+		t.Fatal("empty recorder must be rejected")
+	}
+}

@@ -1,0 +1,248 @@
+package minplus
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotMonotone indicates an operation that requires a non-decreasing
+// curve.
+var ErrNotMonotone = errors.New("minplus: curve must be non-decreasing")
+
+// EvalLeft returns the left limit lim_{s↑t} f(s) for t > 0, and f(0) for
+// t <= 0. It differs from Eval only at jump instants.
+func (c Curve) EvalLeft(t float64) float64 {
+	if t <= 0 {
+		return c.Eval(0)
+	}
+	if t > c.infFrom {
+		return math.Inf(1)
+	}
+	// Find the segment whose half-open interval has t as an interior or
+	// right-boundary point.
+	for i := len(c.segs) - 1; i >= 0; i-- {
+		s := c.segs[i]
+		if s.T0 < t {
+			return s.V0 + s.Slope*(t-s.T0)
+		}
+	}
+	return c.segs[0].V0
+}
+
+// PseudoInverse returns the lower pseudo-inverse
+//
+//	f↑(y) = inf { t >= 0 : f(t) >= y },
+//
+// defined for non-decreasing f. Plateaus of f become jumps of f↑ and vice
+// versa. The returned curve follows the package's right-continuous
+// convention, while f↑ itself is left-continuous: at the (measure-zero)
+// jump points of the inverse, the exact value of f↑ is the *left limit* of
+// the returned curve, i.e. use EvalLeft for exact lower-pseudo-inverse
+// semantics and Eval for a conservative (upper) version. Values of y above
+// sup f map to +∞ (encoded via InfFrom).
+func PseudoInverse(f Curve) (Curve, error) {
+	if !f.NonDecreasing() {
+		return Curve{}, ErrNotMonotone
+	}
+	// Collect the corner points (y, t) of the inverse graph by walking the
+	// corners of f. Consecutive points sharing y encode a jump of the
+	// inverse (a plateau of f); points sharing t encode a plateau of the
+	// inverse (a jump of f). FromPoints implements exactly this encoding.
+	var pts [][2]float64
+	pts = append(pts, [2]float64{0, 0})
+	if f0 := f.segs[0].V0; f0 > 0 {
+		pts = append(pts, [2]float64{f0, 0}) // f↑(y)=0 for y <= f(0)
+	}
+	add := func(y, t float64) {
+		n := len(pts)
+		if y < pts[n-1][0] {
+			return // numeric noise on a non-decreasing f
+		}
+		if y == pts[n-1][0] && t == pts[n-1][1] {
+			return
+		}
+		pts = append(pts, [2]float64{y, t})
+	}
+	for i, s := range f.segs {
+		add(s.V0, s.T0) // jump of f at s.T0 → plateau of f↑ ending at (s.V0, s.T0)
+		end := f.infFrom
+		if i+1 < len(f.segs) {
+			end = f.segs[i+1].T0
+		}
+		if math.IsInf(end, 1) {
+			continue // tail handled below
+		}
+		add(s.V0+s.Slope*(end-s.T0), end)
+	}
+
+	// Tail of the inverse.
+	last := f.segs[len(f.segs)-1]
+	tail := 0.0
+	infFrom := math.Inf(1)
+	switch {
+	case !f.IsFinite():
+		// f blows up at f.infFrom: the inverse saturates there.
+		tail = 0
+	case last.Slope > 0:
+		tail = 1 / last.Slope
+	default:
+		// f saturates at its terminal value; the inverse is +∞ above it.
+		yMax := pts[len(pts)-1][0]
+		infFrom = math.Nextafter(yMax, math.Inf(1))
+		if yMax == 0 {
+			infFrom = 0
+		}
+	}
+
+	c, err := FromPoints(tail, pts...)
+	if err != nil {
+		return Curve{}, err
+	}
+	if math.IsInf(infFrom, 1) {
+		return c, nil
+	}
+	return FromSegments(infFrom, c.segs...)
+}
+
+// HDev returns the horizontal deviation
+//
+//	h(f, g) = sup_{t>=0} inf { d >= 0 : f(t) <= g(t+d) },
+//
+// the worst-case delay bound for an arrival envelope f served with service
+// curve g (paper Eq. 20 with σ=0). Both curves must be non-decreasing.
+// Returns +Inf when f ultimately outgrows g.
+func HDev(f, g Curve) (float64, error) {
+	if !f.NonDecreasing() || !g.NonDecreasing() {
+		return 0, ErrNotMonotone
+	}
+	if !f.IsFinite() && g.IsFinite() {
+		return math.Inf(1), nil
+	}
+	if f.IsFinite() && g.IsFinite() && f.TailSlope() > g.TailSlope()+eqTol {
+		return math.Inf(1), nil
+	}
+
+	ginv, err := PseudoInverse(g)
+	if err != nil {
+		return 0, err
+	}
+	// d(t) = [g↑(f(t)) − t]_+ is piecewise linear with breakpoints where f
+	// breaks or where f crosses a breakpoint value of g↑ — i.e. at
+	// t ∈ breaks(f) ∪ f↑(breaks(g↑)).
+	finv, err := PseudoInverse(f)
+	if err != nil {
+		return 0, err
+	}
+	cands := f.breakTimes()
+	for _, y := range ginv.breakTimes() {
+		if t := finv.Eval(y); isFinite(t) {
+			cands = append(cands, t)
+		}
+	}
+	// Tail: beyond the last candidate the deviation changes linearly; pick
+	// up its limit by sampling one step past the last breakpoint.
+	cands = dedupSorted(cands)
+	last := cands[len(cands)-1]
+	cands = append(cands, last+1, last+2)
+
+	dev := func(t float64) float64 {
+		y := f.Eval(t)
+		if y <= 0 {
+			return 0 // no traffic, no delay: f↑(0) = 0 by definition
+		}
+		if math.IsInf(y, 1) {
+			if !g.IsFinite() && g.infFrom <= f.infFrom {
+				return math.Max(0, g.infFrom-t) // both infinite: delay until g blows up too
+			}
+			return math.Inf(1)
+		}
+		// EvalLeft gives exact lower-pseudo-inverse semantics (see
+		// PseudoInverse); Eval would be conservative at plateau levels of g.
+		x := ginv.EvalLeft(y)
+		if math.IsInf(x, 1) {
+			return math.Inf(1)
+		}
+		return math.Max(0, x-t)
+	}
+
+	best := 0.0
+	for i, t := range cands {
+		d := dev(t)
+		if math.IsInf(d, 1) {
+			return math.Inf(1), nil
+		}
+		if d > best {
+			best = d
+		}
+		// Jumps of f can push the supremum to the left limit of t.
+		if t > 0 {
+			yl := f.EvalLeft(t)
+			if !math.IsInf(yl, 1) {
+				x := ginv.EvalLeft(yl)
+				if math.IsInf(x, 1) {
+					return math.Inf(1), nil
+				}
+				if d := math.Max(0, x-t); d > best {
+					best = d
+				}
+			}
+		}
+		// Detect an increasing tail: deviation growing past the last break.
+		if i == len(cands)-1 && len(cands) >= 2 {
+			prev := dev(cands[i-1])
+			if isFinite(prev) && d > prev+eqTol && t > last {
+				return math.Inf(1), nil
+			}
+		}
+	}
+	return best, nil
+}
+
+// VDev returns the vertical deviation sup_{t>=0} { f(t) − g(t) }, the
+// worst-case backlog bound for envelope f and service curve g. Returns
+// +Inf when the supremum is unbounded.
+func VDev(f, g Curve) float64 {
+	if !f.IsFinite() {
+		if g.IsFinite() || g.infFrom > f.infFrom {
+			return math.Inf(1)
+		}
+	}
+	ts := dedupSorted(append(f.breakTimes(), g.breakTimes()...))
+	best := math.Inf(-1)
+	for _, t := range ts {
+		fv, gv := f.Eval(t), g.Eval(t)
+		switch {
+		case math.IsInf(fv, 1) && math.IsInf(gv, 1):
+			// both infinite: contributes nothing
+		case math.IsInf(fv, 1):
+			return math.Inf(1)
+		case math.IsInf(gv, 1):
+			// g dominates: difference is −∞ here
+		default:
+			if d := fv - gv; d > best {
+				best = d
+			}
+		}
+		// Left limits catch jump instants.
+		fl, gl := f.EvalLeft(t), g.EvalLeft(t)
+		if !math.IsInf(fl, 1) && !math.IsInf(gl, 1) {
+			if d := fl - gl; d > best {
+				best = d
+			}
+		}
+	}
+	// Tail comparison.
+	if f.IsFinite() && g.IsFinite() {
+		if f.TailSlope() > g.TailSlope()+eqTol {
+			return math.Inf(1)
+		}
+		t := ts[len(ts)-1]
+		if d := f.Eval(t) - g.Eval(t); d > best {
+			best = d
+		}
+	}
+	if best < 0 {
+		best = math.Max(best, 0) // deviation of interest is never negative for envelopes
+	}
+	return best
+}

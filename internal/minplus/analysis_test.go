@@ -1,0 +1,187 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPseudoInverseBasic(t *testing.T) {
+	f := ConstantRate(2)
+	inv, err := PseudoInverse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []float64{0, 1, 3, 10} {
+		almost(t, inv.Eval(y), y/2, 1e-9, "inverse of rate 2")
+	}
+}
+
+func TestPseudoInversePlateauAndJump(t *testing.T) {
+	// f: ramp to 4 on [0,2], plateau until 5, then slope 1.
+	f := mustPoints(t, 1, [2]float64{0, 0}, [2]float64{2, 4}, [2]float64{5, 4})
+	inv, err := PseudoInverse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, inv.Eval(2), 1, 1e-9, "inside ramp")
+	// At the plateau level the exact lower pseudo-inverse is the *left
+	// limit* of the returned curve (see PseudoInverse doc).
+	almost(t, inv.EvalLeft(4), 2, 1e-9, "plateau level, exact semantics")
+	almost(t, inv.Eval(4), 5, 1e-9, "plateau level, conservative right-continuous value")
+	almost(t, inv.Eval(4.5), 5.5, 1e-9, "above plateau: jump to 5, then slope 1")
+	almost(t, inv.Eval(6), 7, 1e-9, "tail")
+
+	// Jumping curve: inverse has a plateau.
+	g := Step(3, 10)
+	ginv, err := PseudoInverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g↑(0) = 0 by definition; the returned right-continuous curve jumps at
+	// y=0 (g is flat at zero until t=3), so the exact value at 0 is not
+	// representable — HDev guards the y=0 case explicitly.
+	almost(t, ginv.Eval(5), 3, 1e-9, "mid-jump maps to jump instant")
+	almost(t, ginv.Eval(10), 3, 1e-9, "top of jump maps to jump instant")
+	if v := ginv.Eval(10.5); !math.IsInf(v, 1) {
+		t.Fatalf("above saturation: got %g, want +Inf", v)
+	}
+}
+
+func TestPseudoInverseRequiresMonotone(t *testing.T) {
+	dec, err := FromSegments(math.Inf(1), Segment{V0: 5, Slope: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PseudoInverse(dec); err == nil {
+		t.Fatal("expected ErrNotMonotone")
+	}
+}
+
+func TestPseudoInverseGalois(t *testing.T) {
+	// f(f↑(y)) >= y for y <= sup f, and f↑(f(t)) <= t.
+	f := mustPoints(t, 0.5, [2]float64{0, 1}, [2]float64{1, 4}, [2]float64{3, 4}, [2]float64{4, 6})
+	inv, err := PseudoInverse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []float64{0, 0.5, 1, 2, 4, 5, 6} {
+		x := inv.Eval(y) // right-continuous value is >= f↑(y), so f(x) >= y still holds
+		if math.IsInf(x, 1) {
+			continue
+		}
+		if fv := f.Eval(x); fv < y-1e-9 {
+			t.Errorf("f(f↑(%g)) = %g < %g", y, fv, y)
+		}
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 3.5, 5} {
+		if xi := inv.EvalLeft(f.Eval(x)); xi > x+1e-9 {
+			t.Errorf("f↑(f(%g)) = %g > %g", x, xi, x)
+		}
+	}
+}
+
+func TestHDevClassic(t *testing.T) {
+	// h(γ_{r,b}, β_{R,T}) = T + b/R for r <= R: the textbook delay bound.
+	f := Affine(2, 6)
+	g := RateLatency(3, 4)
+	d, err := HDev(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d, 6, 1e-9, "T + b/R = 4 + 6/3")
+}
+
+func TestHDevUnstable(t *testing.T) {
+	d, err := HDev(Affine(5, 1), ConstantRate(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("unstable system: got %g, want +Inf", d)
+	}
+}
+
+func TestHDevEqualRates(t *testing.T) {
+	// Envelope rate equals service rate: delay stays bounded at T + b/R.
+	d, err := HDev(Affine(3, 6), RateLatency(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d, 4, 1e-9, "T + b/R with equal rates")
+}
+
+func TestHDevZeroWhenServiceDominates(t *testing.T) {
+	d, err := HDev(ConstantRate(1), ConstantRate(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d, 0, 1e-12, "service above envelope everywhere")
+}
+
+func TestHDevAgainstBruteForce(t *testing.T) {
+	tests := []struct {
+		name string
+		f, g Curve
+	}{
+		{"affine vs rate-latency", Affine(2, 7), RateLatency(5, 3)},
+		{"two-slope concave vs convex", mustPoints(t, 1,
+			[2]float64{0, 0}, [2]float64{1, 6}, [2]float64{4, 9}),
+			mustPoints(t, 8, [2]float64{0, 0}, [2]float64{2, 0}, [2]float64{4, 6})},
+		{"staircase service", Affine(1, 3), mustPoints(t, 2,
+			[2]float64{0, 0}, [2]float64{1, 0}, [2]float64{1, 2}, [2]float64{3, 2}, [2]float64{3, 6})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := HDev(tt.f, tt.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteHDev(tt.f, tt.g, 20, 4000)
+			almost(t, got, want, 5e-3, "hdev vs brute force")
+		})
+	}
+}
+
+// bruteHDev approximates sup_t inf{d: f(t) <= g(t+d)} on a dense grid.
+func bruteHDev(f, g Curve, horizon float64, steps int) float64 {
+	worst := 0.0
+	for i := 0; i <= steps; i++ {
+		t := horizon * float64(i) / float64(steps)
+		y := f.Eval(t)
+		// find smallest d with g(t+d) >= y by scanning
+		lo, hi := 0.0, 4*horizon
+		if g.Eval(t+hi) < y {
+			return math.Inf(1)
+		}
+		for k := 0; k < 60; k++ {
+			mid := (lo + hi) / 2
+			if g.Eval(t+mid) >= y {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if hi > worst {
+			worst = hi
+		}
+	}
+	return worst
+}
+
+func TestVDevClassic(t *testing.T) {
+	// Backlog bound of γ_{r,b} at β_{R,T}: b + rT for r <= R.
+	got := VDev(Affine(2, 6), RateLatency(3, 4))
+	almost(t, got, 14, 1e-9, "b + rT")
+
+	if v := VDev(Affine(5, 1), ConstantRate(3)); !math.IsInf(v, 1) {
+		t.Fatalf("unstable: got %g, want +Inf", v)
+	}
+
+	almost(t, VDev(ConstantRate(1), ConstantRate(2)), 0, 1e-12, "dominated envelope")
+}
+
+func TestVDevWithInfiniteService(t *testing.T) {
+	// Service δ_2 (everything delayed by 2): backlog bound is f(2).
+	got := VDev(Affine(3, 4), Delay(2))
+	almost(t, got, 10, 1e-9, "f evaluated at the delay horizon")
+}

@@ -1,0 +1,87 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCurveOps drives curve construction and the central operations with
+// arbitrary parameters, asserting structural invariants that must hold for
+// every valid input (and that invalid inputs are rejected, not mishandled).
+// Run with `go test -fuzz FuzzCurveOps ./internal/minplus` for continuous
+// fuzzing; the seed corpus below runs as part of the normal test suite.
+func FuzzCurveOps(f *testing.F) {
+	f.Add(2.0, 5.0, 6.0, 1.0, 3.0)
+	f.Add(0.5, 0.0, 10.0, 0.0, 1.0)
+	f.Add(9.9, 100.0, 0.1, 9.0, 0.0)
+	f.Fuzz(func(t *testing.T, r1, b1, r2, lat, shift float64) {
+		ok := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+		if !ok(r1) || !ok(b1) || !ok(r2) || !ok(lat) || !ok(shift) {
+			t.Skip()
+		}
+		if r1 < 0 || b1 < 0 || r2 < 0 || lat < 0 || shift < 0 ||
+			r1 > 1e6 || b1 > 1e6 || r2 > 1e6 || lat > 1e6 || shift > 1e6 {
+			t.Skip()
+		}
+		env := Affine(r1, b1)
+		svc := RateLatency(r2, lat)
+
+		conv := Convolve(env, svc)
+		for i := 0; i <= 20; i++ {
+			x := float64(i) * (lat + 1) / 4
+			// Convolution is below both "one-sided" splits.
+			if conv.Eval(x) > env.Eval(x)+svc.Eval(0)+1e-6 {
+				t.Fatalf("conv above f + g(0) at %g", x)
+			}
+			if conv.Eval(x) > env.Eval(0)+svc.Eval(x)+1e-6 {
+				t.Fatalf("conv above f(0) + g at %g", x)
+			}
+		}
+
+		sh := ShiftRight(env, shift)
+		if v := sh.Eval(shift / 2); shift > 0 && v != 0 {
+			t.Fatalf("shifted curve nonzero before the shift: %g", v)
+		}
+		if v, w := sh.Eval(shift+1), env.Eval(1); math.Abs(v-w) > 1e-6*(1+math.Abs(w)) {
+			t.Fatalf("shifted curve mismatch: %g vs %g", v, w)
+		}
+
+		if r1 <= r2 { // stable: delay and backlog bounds must be finite
+			d, err := HDev(env, svc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(d, 1) && r1 < r2 {
+				t.Fatalf("finite system produced infinite delay bound")
+			}
+			if d < 0 {
+				t.Fatalf("negative delay bound %g", d)
+			}
+		}
+	})
+}
+
+// FuzzPseudoInverse checks the Galois inequalities on arbitrary two-piece
+// convex curves.
+func FuzzPseudoInverse(f *testing.F) {
+	f.Add(1.0, 2.0, 5.0)
+	f.Add(0.1, 50.0, 0.5)
+	f.Fuzz(func(t *testing.T, r float64, lat float64, probe float64) {
+		if math.IsNaN(r) || math.IsNaN(lat) || math.IsNaN(probe) ||
+			r <= 0 || r > 1e6 || lat < 0 || lat > 1e6 || probe < 0 || probe > 1e6 {
+			t.Skip()
+		}
+		g := RateLatency(r, lat)
+		inv, err := PseudoInverse(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := inv.Eval(probe)
+		if math.IsInf(x, 1) {
+			t.Skip() // above sup g
+		}
+		if g.Eval(x) < probe-1e-6*(1+probe) {
+			t.Fatalf("g(g↑(%g)) = %g < %g", probe, g.Eval(x), probe)
+		}
+	})
+}

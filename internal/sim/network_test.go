@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deltasched/internal/envelope"
+	"deltasched/internal/traffic"
+)
+
+func TestNetworkValidation(t *testing.T) {
+	good := func() *Network {
+		return &Network{
+			Capacities: []float64{10, 10},
+			MakeSched:  func(int) Scheduler { return NewFIFO() },
+			Flows: []RoutedFlow{
+				{Src: traffic.CBR{Rate: 1}, Route: []int{0, 1}},
+			},
+		}
+	}
+	if _, err := good().Run(5); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	n := good()
+	n.Capacities = nil
+	if _, err := n.Run(5); err == nil {
+		t.Error("no nodes must be rejected")
+	}
+	n = good()
+	n.Capacities[1] = 0
+	if _, err := n.Run(5); err == nil {
+		t.Error("zero capacity must be rejected")
+	}
+	n = good()
+	n.Flows[0].Route = []int{1, 0}
+	if _, err := n.Run(5); err == nil {
+		t.Error("non-feed-forward route must be rejected")
+	}
+	n = good()
+	n.Flows[0].Route = []int{0, 5}
+	if _, err := n.Run(5); err == nil {
+		t.Error("unknown node must be rejected")
+	}
+	n = good()
+	n.Flows[0].Src = nil
+	if _, err := n.Run(5); err == nil {
+		t.Error("missing source must be rejected")
+	}
+	n = good()
+	n.MakeSched = nil
+	if _, err := n.Run(5); err == nil {
+		t.Error("missing scheduler factory must be rejected")
+	}
+}
+
+// TestNetworkReducesToTandem: the paper's Fig. 1 topology expressed as a
+// routed network must produce exactly the same through-flow delay
+// distribution as the dedicated Tandem simulator under identical traffic.
+func TestNetworkReducesToTandem(t *testing.T) {
+	m := envelope.PaperSource()
+	const (
+		h     = 3
+		c     = 18.0
+		slots = 30000
+	)
+	mkSources := func() (traffic.Source, []traffic.Source) {
+		rng := rand.New(rand.NewSource(42))
+		th, err := traffic.NewMMOOAggregate(m, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := make([]traffic.Source, h)
+		for i := range cross {
+			cs, err := traffic.NewMMOOAggregate(m, 50, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cross[i] = cs
+		}
+		return th, cross
+	}
+
+	// Tandem run. FIFO ties break by flow id, with through=0 and cross=1
+	// at every node — mirror that exactly in the network flow ordering.
+	th, cross := mkSources()
+	tan := &Tandem{C: c, Through: th, Cross: cross,
+		MakeSched: func(int) Scheduler { return NewFIFO() }}
+	tanRec, _, err := tan.Run(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Network run with identical sample paths (fresh sources, same seed).
+	th2, cross2 := mkSources()
+	flows := []RoutedFlow{{Src: th2, Route: []int{0, 1, 2}}}
+	for i, cs := range cross2 {
+		flows = append(flows, RoutedFlow{Src: cs, Route: []int{i}})
+	}
+	net := &Network{
+		Capacities: []float64{c, c, c},
+		MakeSched:  func(int) Scheduler { return NewFIFO() },
+		Flows:      flows,
+	}
+	recs, err := net.Run(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dt := tanRec.Distribution()
+	dn := recs[0].Distribution()
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		qt, err := dt.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qn, err := dn.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qt != qn {
+			t.Fatalf("p%g differs: tandem %d vs network %d", 100*p, qt, qn)
+		}
+	}
+}
+
+// TestFreshCrossIsWorseThanPersistent: the paper's Fig. 1 model — fresh,
+// unsmoothed cross traffic joining at *every* hop — is the harsher
+// scenario: cross traffic that instead travels alongside the through flow
+// is smoothed by the first shared queue and interferes less downstream
+// (the network-decomposition effect of the paper's refs [2], [9], [25]).
+// The routed simulator makes this comparison executable.
+func TestFreshCrossIsWorseThanPersistent(t *testing.T) {
+	m := envelope.PaperSource()
+	const (
+		c     = 16.0
+		slots = 80000
+	)
+	run := func(persistent bool) float64 {
+		rng := rand.New(rand.NewSource(3))
+		th, err := traffic.NewMMOOAggregate(m, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := []RoutedFlow{{Src: th, Route: []int{0, 1, 2}}}
+		if persistent {
+			cs, err := traffic.NewMMOOAggregate(m, 60, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flows = append(flows, RoutedFlow{Src: cs, Route: []int{0, 1, 2}})
+		} else {
+			for i := 0; i < 3; i++ {
+				cs, err := traffic.NewMMOOAggregate(m, 60, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flows = append(flows, RoutedFlow{Src: cs, Route: []int{i}})
+			}
+		}
+		net := &Network{
+			Capacities: []float64{c, c, c},
+			MakeSched:  func(int) Scheduler { return NewFIFO() },
+			Flows:      flows,
+		}
+		recs, err := net.Run(slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := recs[0].Distribution().Quantile(0.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(q)
+	}
+	fresh := run(false)
+	persistent := run(true)
+	if fresh < persistent {
+		t.Fatalf("fresh per-hop cross traffic should be the harsher model: fresh %g vs persistent %g",
+			fresh, persistent)
+	}
+}
+
+func TestNetworkConservation(t *testing.T) {
+	net := &Network{
+		Capacities: []float64{5, 5},
+		MakeSched:  func(int) Scheduler { return NewFIFO() },
+		Flows: []RoutedFlow{
+			{Src: traffic.CBR{Rate: 2}, Route: []int{0, 1}},
+			{Src: traffic.CBR{Rate: 1}, Route: []int{1}},
+		},
+	}
+	recs, err := net.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underloaded CBR: zero delay, zero backlog, full delivery.
+	for fi, rec := range recs {
+		if b := rec.Backlog(); math.Abs(b) > 1e-9 {
+			t.Errorf("flow %d backlog %g, want 0", fi, b)
+		}
+		mx, err := rec.Distribution().Max()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx != 0 {
+			t.Errorf("flow %d max delay %d, want 0", fi, mx)
+		}
+	}
+}

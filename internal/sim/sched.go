@@ -1,0 +1,292 @@
+// Package sim is a discrete-time (slotted) fluid simulator for the
+// paper's network model: buffered constant-rate links with work-conserving
+// locally-FIFO schedulers, through traffic traversing a tandem of nodes,
+// and cross traffic joining at every hop. It serves as the executable
+// ground truth for the analytical bounds of internal/core: simulated
+// delays must stay below the computed bounds at the corresponding
+// violation probability, and the greedy scenarios of Theorem 2 must attain
+// the deterministic bounds.
+//
+// Packetization is ignored, as in the paper: data is fluid and service
+// within a slot can split chunks arbitrarily.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"deltasched/internal/core"
+)
+
+// Scheduler is a per-node link scheduling discipline operating on fluid
+// chunks tagged with their flow and arrival slot.
+type Scheduler interface {
+	Name() string
+	// Enqueue admits bits of flow f arriving at the given slot.
+	Enqueue(f core.FlowID, slot int, bits float64)
+	// Serve transmits up to budget bits in precedence order, accumulating
+	// the served amount per flow into out. Implementations must be
+	// work-conserving: they serve min(budget, backlog).
+	Serve(budget float64, out map[core.FlowID]float64)
+	// Backlog returns the total buffered bits.
+	Backlog() float64
+}
+
+// chunk is a fluid batch awaiting service.
+type chunk struct {
+	k1, k2 float64 // precedence keys, lexicographic, smaller first
+	flow   core.FlowID
+	bits   float64
+	seq    int // admission sequence, final tie-breaker (stability)
+}
+
+type chunkHeap []chunk
+
+func (h chunkHeap) Len() int { return len(h) }
+func (h chunkHeap) Less(i, j int) bool {
+	if h[i].k1 != h[j].k1 {
+		return h[i].k1 < h[j].k1
+	}
+	if h[i].k2 != h[j].k2 {
+		return h[i].k2 < h[j].k2
+	}
+	if h[i].flow != h[j].flow {
+		return h[i].flow < h[j].flow
+	}
+	return h[i].seq < h[j].seq
+}
+func (h chunkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *chunkHeap) Push(x interface{}) { *h = append(*h, x.(chunk)) }
+func (h *chunkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Precedence is a generic Δ-scheduler executor: chunks are served in
+// increasing key order, with keys assigned at arrival by a discipline-
+// specific function. FIFO, static priority, BMUX and EDF are all instances
+// (their precedence between any two arrivals is fixed at arrival time —
+// precisely the Δ-scheduler property of Definition 1).
+type Precedence struct {
+	name    string
+	keyOf   func(f core.FlowID, slot int) (k1, k2 float64)
+	q       chunkHeap
+	backlog float64
+	seq     int
+}
+
+var _ Scheduler = (*Precedence)(nil)
+
+// NewFIFO serves strictly in arrival order; simultaneous arrivals are
+// ordered by flow id.
+func NewFIFO() *Precedence {
+	return &Precedence{
+		name:  "FIFO",
+		keyOf: func(_ core.FlowID, slot int) (float64, float64) { return float64(slot), 0 },
+	}
+}
+
+// NewSP serves by static priority (higher level first), FIFO within a
+// level. Flows absent from the map default to level 0.
+func NewSP(level map[core.FlowID]int) *Precedence {
+	cp := make(map[core.FlowID]int, len(level))
+	for k, v := range level {
+		cp[k] = v
+	}
+	return &Precedence{
+		name: "SP",
+		keyOf: func(f core.FlowID, slot int) (float64, float64) {
+			return -float64(cp[f]), float64(slot)
+		},
+	}
+}
+
+// NewBMUX gives the designated flow strictly lowest priority; all other
+// flows are FIFO among themselves.
+func NewBMUX(low core.FlowID) *Precedence {
+	return &Precedence{
+		name: "BMUX",
+		keyOf: func(f core.FlowID, slot int) (float64, float64) {
+			if f == low {
+				return 1, float64(slot)
+			}
+			return 0, float64(slot)
+		},
+	}
+}
+
+// NewEDF serves by earliest deadline (arrival + per-flow constraint),
+// breaking deadline ties by arrival slot. Flows absent from the map get
+// deadline 0.
+func NewEDF(deadline map[core.FlowID]float64) *Precedence {
+	cp := make(map[core.FlowID]float64, len(deadline))
+	for k, v := range deadline {
+		cp[k] = v
+	}
+	return &Precedence{
+		name: "EDF",
+		keyOf: func(f core.FlowID, slot int) (float64, float64) {
+			return float64(slot) + cp[f], float64(slot)
+		},
+	}
+}
+
+// Name implements Scheduler.
+func (p *Precedence) Name() string { return p.name }
+
+// Enqueue implements Scheduler.
+func (p *Precedence) Enqueue(f core.FlowID, slot int, bits float64) {
+	if bits <= 0 {
+		return
+	}
+	k1, k2 := p.keyOf(f, slot)
+	p.seq++
+	heap.Push(&p.q, chunk{k1: k1, k2: k2, flow: f, bits: bits, seq: p.seq})
+	p.backlog += bits
+}
+
+// Serve implements Scheduler.
+func (p *Precedence) Serve(budget float64, out map[core.FlowID]float64) {
+	for budget > 1e-12 && p.q.Len() > 0 {
+		c := &p.q[0]
+		take := math.Min(budget, c.bits)
+		out[c.flow] += take
+		c.bits -= take
+		p.backlog -= take
+		budget -= take
+		if c.bits <= 1e-12 {
+			p.backlog += c.bits // absorb the fp residue
+			heap.Pop(&p.q)
+		}
+	}
+	if p.backlog < 0 {
+		p.backlog = 0
+	}
+}
+
+// Backlog implements Scheduler.
+func (p *Precedence) Backlog() float64 { return p.backlog }
+
+// GPS is generalized processor sharing: backlogged flows are served
+// simultaneously in proportion to their weights (fluid water-filling each
+// slot), FIFO within a flow. GPS is *not* a Δ-scheduler (the precedence
+// between two arrivals depends on the random backlog process — see the
+// paper's Section III), which is exactly why it is implemented here
+// directly rather than via Precedence.
+type GPS struct {
+	weight  map[core.FlowID]float64
+	queues  map[core.FlowID][]chunk
+	order   []core.FlowID
+	backlog float64
+}
+
+var _ Scheduler = (*GPS)(nil)
+
+// NewGPS validates and copies the weights.
+func NewGPS(weight map[core.FlowID]float64) (*GPS, error) {
+	if len(weight) == 0 {
+		return nil, fmt.Errorf("sim: GPS needs at least one weighted flow")
+	}
+	cp := make(map[core.FlowID]float64, len(weight))
+	var order []core.FlowID
+	for f, w := range weight {
+		if w <= 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("sim: GPS weight for flow %d must be positive, got %g", f, w)
+		}
+		cp[f] = w
+		order = append(order, f)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return &GPS{weight: cp, queues: make(map[core.FlowID][]chunk), order: order}, nil
+}
+
+// Name implements Scheduler.
+func (g *GPS) Name() string { return "GPS" }
+
+// Enqueue implements Scheduler.
+func (g *GPS) Enqueue(f core.FlowID, slot int, bits float64) {
+	if bits <= 0 {
+		return
+	}
+	if _, ok := g.weight[f]; !ok {
+		// Unweighted flows default to weight of 1.
+		g.weight[f] = 1
+		g.order = append(g.order, f)
+		sort.Slice(g.order, func(i, j int) bool { return g.order[i] < g.order[j] })
+	}
+	g.queues[f] = append(g.queues[f], chunk{bits: bits})
+	g.backlog += bits
+}
+
+// Serve implements Scheduler: iterative water-filling — flows that empty
+// their queue mid-slot return their unused share to the others, preserving
+// work conservation.
+func (g *GPS) Serve(budget float64, out map[core.FlowID]float64) {
+	for budget > 1e-12 {
+		totalW := 0.0
+		for _, f := range g.order {
+			if g.flowBacklog(f) > 0 {
+				totalW += g.weight[f]
+			}
+		}
+		if totalW == 0 {
+			break
+		}
+		spent := 0.0
+		for _, f := range g.order {
+			bl := g.flowBacklog(f)
+			if bl <= 0 {
+				continue
+			}
+			share := budget * g.weight[f] / totalW
+			take := math.Min(share, bl)
+			g.drain(f, take)
+			out[f] += take
+			spent += take
+		}
+		if spent <= 1e-12 {
+			break
+		}
+		budget -= spent
+	}
+	if g.backlog < 0 {
+		g.backlog = 0
+	}
+}
+
+func (g *GPS) flowBacklog(f core.FlowID) float64 {
+	total := 0.0
+	for _, c := range g.queues[f] {
+		total += c.bits
+	}
+	return total
+}
+
+func (g *GPS) drain(f core.FlowID, amount float64) {
+	q := g.queues[f]
+	g.backlog -= amount
+	for i := range q {
+		take := math.Min(amount, q[i].bits)
+		q[i].bits -= take
+		amount -= take
+		if amount <= 1e-15 {
+			break
+		}
+	}
+	// Compact drained chunks.
+	keep := q[:0]
+	for _, c := range q {
+		if c.bits > 1e-12 {
+			keep = append(keep, c)
+		}
+	}
+	g.queues[f] = keep
+}
+
+// Backlog implements Scheduler.
+func (g *GPS) Backlog() float64 { return g.backlog }

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"deltasched/internal/core"
+	"deltasched/internal/measure"
+	"deltasched/internal/traffic"
+)
+
+// Flow identifiers inside a tandem node: the through aggregate is flow 0,
+// the local cross aggregate flow 1 (cross traffic leaves after one hop, as
+// in the paper's Fig. 1).
+const (
+	ThroughFlow core.FlowID = 0
+	CrossFlow   core.FlowID = 1
+)
+
+// Tandem simulates the multi-node network of the paper's Fig. 1: through
+// traffic traverses H identical-capacity nodes in sequence; independent
+// cross traffic joins at each node and departs after that node.
+//
+// Forwarding is cut-through within a slot: node h's slot-t departures are
+// offered to node h+1 in the same slot (matching the fluid service-curve
+// semantics where a network path can be traversed instantaneously when
+// capacity allows).
+type Tandem struct {
+	C         float64                  // per-node capacity (bits per slot)
+	Cs        []float64                // optional per-node capacities overriding C (len = H)
+	Through   traffic.Source           // through aggregate at the ingress
+	Cross     []traffic.Source         // per-node cross aggregates (nil = no cross traffic); len = H
+	MakeSched func(node int) Scheduler // scheduler factory, one per node
+
+	// MakeShaper optionally reshapes the through traffic between nodes:
+	// link i (0-based) sits between node i+1 and node i+2. Return nil for
+	// links that should stay unshaped. See Shaper for the design point.
+	MakeShaper func(link int) *Shaper
+
+	// RecordPerNode additionally tracks the through flow's arrival and
+	// departure curves at every node, exposing per-hop delay
+	// decompositions through PerNode after Run.
+	RecordPerNode bool
+
+	nodes   []Scheduler
+	perNode []*measure.DelayRecorder
+}
+
+// PerNode returns the per-node through-flow delay recorders of the last
+// Run; nil unless RecordPerNode was set.
+func (t *Tandem) PerNode() []*measure.DelayRecorder { return t.perNode }
+
+// Stats carries aggregate counters from a run.
+type Stats struct {
+	ThroughArrived float64
+	ThroughLeft    float64
+	CrossArrived   float64
+	MaxBacklog     float64 // largest per-node backlog observed
+}
+
+// Run advances the tandem by the given number of slots and returns the
+// through flow's end-to-end delay recorder.
+func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
+	if t.C <= 0 && len(t.Cs) == 0 {
+		return nil, Stats{}, fmt.Errorf("sim: capacity must be positive, got %g", t.C)
+	}
+	if len(t.Cs) > 0 && len(t.Cs) != len(t.Cross) {
+		return nil, Stats{}, fmt.Errorf("sim: %d per-node capacities for %d nodes", len(t.Cs), len(t.Cross))
+	}
+	for i, c := range t.Cs {
+		if c <= 0 {
+			return nil, Stats{}, fmt.Errorf("sim: node %d capacity must be positive, got %g", i+1, c)
+		}
+	}
+	if t.Through == nil {
+		return nil, Stats{}, errors.New("sim: tandem needs a through source")
+	}
+	if len(t.Cross) == 0 {
+		return nil, Stats{}, errors.New("sim: tandem needs at least one node (len(Cross) = H)")
+	}
+	if t.MakeSched == nil {
+		return nil, Stats{}, errors.New("sim: tandem needs a scheduler factory")
+	}
+	h := len(t.Cross)
+	t.nodes = make([]Scheduler, h)
+	for i := range t.nodes {
+		t.nodes[i] = t.MakeSched(i)
+		if t.nodes[i] == nil {
+			return nil, Stats{}, fmt.Errorf("sim: scheduler factory returned nil for node %d", i)
+		}
+	}
+
+	var shapers []*Shaper
+	if t.MakeShaper != nil && h > 1 {
+		shapers = make([]*Shaper, h-1)
+		for i := range shapers {
+			shapers[i] = t.MakeShaper(i)
+		}
+	}
+
+	t.perNode = nil
+	var nodeA, nodeD []float64
+	if t.RecordPerNode {
+		t.perNode = make([]*measure.DelayRecorder, h)
+		for i := range t.perNode {
+			t.perNode[i] = &measure.DelayRecorder{}
+		}
+		nodeA = make([]float64, h)
+		nodeD = make([]float64, h)
+	}
+
+	var (
+		rec   measure.DelayRecorder
+		stats Stats
+		cumA  float64
+		cumD  float64
+		out   = make(map[core.FlowID]float64, 2)
+	)
+	for slot := 0; slot < slots; slot++ {
+		// External arrivals.
+		a := t.Through.Next()
+		cumA += a
+		stats.ThroughArrived += a
+		t.nodes[0].Enqueue(ThroughFlow, slot, a)
+		if t.RecordPerNode {
+			nodeA[0] += a
+		}
+		for i, cs := range t.Cross {
+			if cs == nil {
+				continue
+			}
+			x := cs.Next()
+			stats.CrossArrived += x
+			t.nodes[i].Enqueue(CrossFlow, slot, x)
+		}
+		// Serve nodes in path order; through departures cascade within the
+		// slot.
+		for i := 0; i < h; i++ {
+			for k := range out {
+				delete(out, k)
+			}
+			capa := t.C
+			if len(t.Cs) > 0 {
+				capa = t.Cs[i]
+			}
+			t.nodes[i].Serve(capa, out)
+			fwd := out[ThroughFlow]
+			if t.RecordPerNode {
+				nodeD[i] += fwd
+			}
+			if i+1 < h {
+				if shapers != nil && shapers[i] != nil {
+					fwd = shapers[i].Step(fwd)
+				}
+				t.nodes[i+1].Enqueue(ThroughFlow, slot, fwd)
+				if t.RecordPerNode {
+					nodeA[i+1] += fwd
+				}
+			} else {
+				cumD += fwd
+				stats.ThroughLeft += fwd
+			}
+			if b := t.nodes[i].Backlog(); b > stats.MaxBacklog {
+				stats.MaxBacklog = b
+			}
+		}
+		if err := rec.Record(cumA, cumD); err != nil {
+			return nil, Stats{}, err
+		}
+		if t.RecordPerNode {
+			for i := 0; i < h; i++ {
+				if err := t.perNode[i].Record(nodeA[i], nodeD[i]); err != nil {
+					return nil, Stats{}, fmt.Errorf("node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return &rec, stats, nil
+}
+
+// SingleNode simulates one buffered link shared by an arbitrary set of
+// flows under any Scheduler — the setting of the paper's Section III and
+// of the single-node tightness experiments.
+type SingleNode struct {
+	C       float64
+	Sched   Scheduler
+	Sources map[core.FlowID]traffic.Source
+}
+
+// Run advances the node and returns one delay recorder per flow.
+func (n *SingleNode) Run(slots int) (map[core.FlowID]*measure.DelayRecorder, error) {
+	if n.C <= 0 {
+		return nil, fmt.Errorf("sim: capacity must be positive, got %g", n.C)
+	}
+	if n.Sched == nil || len(n.Sources) == 0 {
+		return nil, errors.New("sim: single node needs a scheduler and sources")
+	}
+	recs := make(map[core.FlowID]*measure.DelayRecorder, len(n.Sources))
+	cumA := make(map[core.FlowID]float64, len(n.Sources))
+	cumD := make(map[core.FlowID]float64, len(n.Sources))
+	flows := make([]core.FlowID, 0, len(n.Sources))
+	for f := range n.Sources {
+		recs[f] = &measure.DelayRecorder{}
+		flows = append(flows, f)
+	}
+	// Deterministic iteration order for reproducibility.
+	for i := 0; i < len(flows); i++ {
+		for j := i + 1; j < len(flows); j++ {
+			if flows[j] < flows[i] {
+				flows[i], flows[j] = flows[j], flows[i]
+			}
+		}
+	}
+
+	out := make(map[core.FlowID]float64, len(n.Sources))
+	for slot := 0; slot < slots; slot++ {
+		for _, f := range flows {
+			a := n.Sources[f].Next()
+			cumA[f] += a
+			n.Sched.Enqueue(f, slot, a)
+		}
+		for k := range out {
+			delete(out, k)
+		}
+		n.Sched.Serve(n.C, out)
+		for _, f := range flows {
+			cumD[f] += out[f]
+			if err := recs[f].Record(cumA[f], cumD[f]); err != nil {
+				return nil, fmt.Errorf("sim: flow %d: %w", f, err)
+			}
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,233 @@
+// Package traffic provides discrete-time traffic sources for the network
+// simulator: the paper's Markov-modulated on-off flows, constant bit rate
+// sources, aggregates, and greedy (envelope-tracing) adversaries used by
+// the Theorem 2 tightness experiments.
+//
+// A source emits a non-negative amount of data at each slot; cumulative
+// emissions over [0, t) form the arrival process A(t) of the paper.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"deltasched/internal/envelope"
+	"deltasched/internal/minplus"
+)
+
+// Source generates per-slot arrivals.
+type Source interface {
+	// Next returns the amount of data arriving in the current slot and
+	// advances the source to the next slot.
+	Next() float64
+}
+
+// MMOO is a two-state Markov-modulated on-off source (paper Section V).
+// The initial state is drawn from the stationary distribution so that
+// finite simulations match the analysis without a warm-up phase.
+type MMOO struct {
+	model envelope.MMOO
+	rng   *rand.Rand
+	on    bool
+}
+
+// NewMMOO validates the chain and seeds the state from its stationary
+// distribution using the provided RNG.
+func NewMMOO(m envelope.MMOO, rng *rand.Rand) (*MMOO, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("traffic: NewMMOO needs a *rand.Rand")
+	}
+	return &MMOO{
+		model: m,
+		rng:   rng,
+		on:    rng.Float64() < m.OnProbability(),
+	}, nil
+}
+
+// Next implements Source.
+func (s *MMOO) Next() float64 {
+	out := 0.0
+	if s.on {
+		out = s.model.Peak
+	}
+	// Transition for the next slot.
+	if s.on {
+		s.on = s.rng.Float64() < s.model.P22
+	} else {
+		s.on = s.rng.Float64() >= s.model.P11
+	}
+	return out
+}
+
+// CBR is a constant bit rate source.
+type CBR struct {
+	Rate float64
+}
+
+// Next implements Source.
+func (s CBR) Next() float64 { return s.Rate }
+
+// Aggregate sums a set of sources (statistical multiplexing of flows into
+// the through- or cross-traffic aggregates of the paper's Fig. 1).
+type Aggregate struct {
+	sources []Source
+}
+
+// NewAggregate bundles the given sources.
+func NewAggregate(sources ...Source) *Aggregate {
+	return &Aggregate{sources: sources}
+}
+
+// NewMMOOAggregate creates n iid MMOO flows sharing one RNG.
+func NewMMOOAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*Aggregate, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("traffic: aggregate size must be >= 0, got %d", n)
+	}
+	srcs := make([]Source, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := NewMMOO(m, rng)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, s)
+	}
+	return NewAggregate(srcs...), nil
+}
+
+// Next implements Source.
+func (a *Aggregate) Next() float64 {
+	total := 0.0
+	for _, s := range a.sources {
+		total += s.Next()
+	}
+	return total
+}
+
+// Size returns the number of bundled flows.
+func (a *Aggregate) Size() int { return len(a.sources) }
+
+// Greedy traces a deterministic envelope exactly: cumulative emissions
+// after t slots equal E(t). It realizes the adversarial arrival pattern of
+// the Theorem 2 necessity proof ("each flow k has arrivals such that
+// A_k(t) = E_k(t)").
+type Greedy struct {
+	env  minplus.Curve
+	slot int
+	sent float64
+}
+
+// NewGreedy validates the envelope (non-decreasing, finite) and returns a
+// greedy tracer.
+func NewGreedy(env minplus.Curve) (*Greedy, error) {
+	if !env.IsFinite() {
+		return nil, errors.New("traffic: greedy source needs a finite envelope")
+	}
+	if !env.NonDecreasing() {
+		return nil, errors.New("traffic: greedy source needs a non-decreasing envelope")
+	}
+	return &Greedy{env: env}, nil
+}
+
+// Next implements Source: the slot-0 emission is E(1) (the initial burst
+// plus one slot's worth), and thereafter E(t+1) − E(t).
+func (g *Greedy) Next() float64 {
+	g.slot++
+	target := g.env.Eval(float64(g.slot))
+	out := target - g.sent
+	if out < 0 {
+		out = 0
+	}
+	g.sent += out
+	return out
+}
+
+// Delayed wraps a source, holding it silent for the first `start` slots —
+// used to inject a tagged arrival at a chosen time t*.
+type Delayed struct {
+	Start int
+	Src   Source
+
+	slot int
+}
+
+// Next implements Source.
+func (d *Delayed) Next() float64 {
+	if d.slot < d.Start {
+		d.slot++
+		return 0
+	}
+	d.slot++
+	return d.Src.Next()
+}
+
+// Pulse emits a single burst of the given size at slot Start and nothing
+// otherwise.
+type Pulse struct {
+	Start int
+	Size  float64
+
+	slot int
+}
+
+// Next implements Source.
+func (p *Pulse) Next() float64 {
+	s := p.slot
+	p.slot++
+	if s == p.Start {
+		return p.Size
+	}
+	return 0
+}
+
+// Trace replays a recorded per-slot arrival sequence; past the end it
+// emits nothing. Useful for feeding measured traffic into the simulator
+// or for crafting exact adversarial patterns in tests.
+type Trace struct {
+	Data []float64
+
+	pos int
+}
+
+// Next implements Source.
+func (t *Trace) Next() float64 {
+	if t.pos >= len(t.Data) {
+		return 0
+	}
+	v := t.Data[t.pos]
+	t.pos++
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PeriodicOnOff is a deterministic on-off source: Rate per slot for On
+// slots, then silent for Off slots, repeating, starting at phase Phase
+// into the cycle. It is the deterministic counterpart of the MMOO source
+// (worst-case burstiness for a given mean when phase-aligned).
+type PeriodicOnOff struct {
+	Rate  float64
+	On    int
+	Off   int
+	Phase int
+
+	slot int
+}
+
+// Next implements Source.
+func (p *PeriodicOnOff) Next() float64 {
+	period := p.On + p.Off
+	if period <= 0 || p.On <= 0 {
+		return 0
+	}
+	pos := (p.slot + p.Phase) % period
+	p.slot++
+	if pos < p.On {
+		return p.Rate
+	}
+	return 0
+}
