@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figs figs-quick ablate fmt vet clean
+.PHONY: all build test test-short race cover bench figs figs-quick ablate fmt vet check profile clean
 
 all: build test
 
@@ -41,5 +41,20 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# CI gate: formatting, static analysis, and race-sensitive packages.
+check:
+	@unformatted=$$(gofmt -l cmd internal examples bench_test.go); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# Profile a representative netsim run and show the hot functions.
+profile:
+	$(GO) run ./cmd/netsim -slots 200000 -cpuprofile cpu.prof -report netsim-report.json
+	$(GO) tool pprof -top -nodecount=10 cpu.prof
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt \
+		cpu.prof mem.prof *.prof *.pprof trace.out netsim-report.json

@@ -13,6 +13,7 @@ import (
 	"deltasched/internal/envelope"
 	"deltasched/internal/experiments"
 	"deltasched/internal/minplus"
+	"deltasched/internal/obs"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
@@ -138,6 +139,21 @@ func BenchmarkEffectiveBandwidth(b *testing.B) {
 // BenchmarkSimulatorSlots measures tandem simulation throughput in
 // slots/op for the Fig. 1 topology at moderate load.
 func BenchmarkSimulatorSlots(b *testing.B) {
+	tan := benchTandem(b)
+	b.ResetTimer()
+	const slotsPerOp = 2000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tan.Run(slotsPerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(slotsPerOp, "slots/op")
+}
+
+// benchTandem builds the Fig. 1 topology used by the simulator
+// benchmarks: 3 FIFO nodes, 30 through + 3×60 cross MMOO flows.
+func benchTandem(b *testing.B) *sim.Tandem {
+	b.Helper()
 	m := envelope.PaperSource()
 	rng := rand.New(rand.NewSource(9))
 	through, err := traffic.NewMMOOAggregate(m, 30, rng)
@@ -152,8 +168,38 @@ func BenchmarkSimulatorSlots(b *testing.B) {
 		}
 		cross[i] = cs
 	}
-	tan := &sim.Tandem{C: 20, Through: through, Cross: cross,
+	return &sim.Tandem{C: 20, Through: through, Cross: cross,
 		MakeSched: func(int) sim.Scheduler { return sim.NewFIFO() }}
+}
+
+// BenchmarkNetworkRunInstrumented is BenchmarkSimulatorSlots with a
+// per-slot observability probe attached: the gap between the two is the
+// cost of *enabled* instrumentation. The disabled-probe overhead — the
+// cost the probe field adds when nil — is BenchmarkSimulatorSlots against
+// the pre-observability seed, measured at < 2% (one nil check per slot;
+// see DESIGN.md's Observability section).
+func BenchmarkNetworkRunInstrumented(b *testing.B) {
+	tan := benchTandem(b)
+	probe := &obs.SimProbe{}
+	tan.Probe = probe
+	b.ResetTimer()
+	const slotsPerOp = 2000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tan.Run(slotsPerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(slotsPerOp, "slots/op")
+	if len(probe.Summaries()) != 3 {
+		b.Fatal("probe recorded nothing")
+	}
+}
+
+// BenchmarkNetworkRunSampledProbe is the instrumented run at a 100-slot
+// sampling stride — the recommended setting for long production runs.
+func BenchmarkNetworkRunSampledProbe(b *testing.B) {
+	tan := benchTandem(b)
+	tan.Probe = &obs.SimProbe{Every: 100}
 	b.ResetTimer()
 	const slotsPerOp = 2000
 	for i := 0; i < b.N; i++ {

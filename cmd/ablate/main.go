@@ -15,38 +15,57 @@ import (
 	"os"
 
 	"deltasched/internal/experiments"
+	"deltasched/internal/obs"
 	"deltasched/internal/plot"
 )
 
 func main() {
-	var (
-		util   = flag.Float64("util", 0.5, "total utilization for the sweeps")
-		quick  = flag.Bool("quick", false, "smaller grids")
-		region = flag.Bool("region", false, "also compute the two-class admissible region")
-	)
-	flag.Parse()
-	if err := run(*util, *quick, *region); err != nil {
-		fmt.Fprintln(os.Stderr, "ablate:", err)
-		os.Exit(1)
-	}
+	obs.Exit("ablate", run(os.Args[1:]))
 }
 
-func run(util float64, quick, region bool) error {
+func run(args []string) (retErr error) {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	var (
+		utilFlag = fs.Float64("util", 0.5, "total utilization for the sweeps")
+		quick    = fs.Bool("quick", false, "smaller grids")
+		region   = fs.Bool("region", false, "also compute the two-class admissible region")
+	)
+	var of obs.Flags
+	of.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	util := *utilFlag
+
+	sess, err := of.Start("ablate")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	sess.Report.Config = obs.ConfigFromFlags(fs)
+
 	s := experiments.PaperSetup()
 	hsScaling := []int{2, 4, 8, 16, 24}
 	hsRecipe := []int{2, 5, 10}
 	hsGain := []int{1, 2, 4, 8, 16}
-	if quick {
+	if *quick {
 		hsScaling = []int{2, 4, 8}
 		hsRecipe = []int{2, 5}
 		hsGain = []int{2, 8}
 	}
 
 	fmt.Printf("== Scaling: network service curve vs additive bounds (U=%.0f%%) ==\n", util*100)
+	stopScaling := sess.Stage("scaling")
 	rep, err := s.Scaling(hsScaling, util)
+	stopScaling()
 	if err != nil {
 		return err
 	}
+	sess.Report.SetExtra("scaling", rep)
 	fmt.Printf("%6s %16s %16s\n", "H", "network [ms]", "additive [ms]")
 	for i, h := range rep.Hs {
 		fmt.Printf("%6d %16.4g %16.4g\n", h, rep.Network[i], rep.Additive[i])
@@ -55,10 +74,13 @@ func run(util float64, quick, region bool) error {
 		rep.NetworkExp, rep.AdditiveExp)
 
 	fmt.Printf("== Does scheduling matter on long paths? (ratios to BMUX, U=%.0f%%) ==\n", util*100)
+	stopGain := sess.Stage("edf-gain")
 	gain, err := s.EDFGain(hsGain, util)
+	stopGain()
 	if err != nil {
 		return err
 	}
+	sess.Report.SetExtra("edf_gain", gain)
 	fmt.Printf("%6s %12s %12s\n", "H", "FIFO/BMUX", "EDF/BMUX")
 	for i, h := range gain.Hs {
 		fmt.Printf("%6d %12.3f %12.3f\n", h, gain.FIFORatio[i], gain.EDFRatio[i])
@@ -66,10 +88,13 @@ func run(util float64, quick, region bool) error {
 	fmt.Println()
 
 	fmt.Printf("== Ablation: paper's K-recipe (Eqs. 40–42) vs exact solver (U=%.0f%%) ==\n", util*100)
+	stopRecipe := sess.Stage("recipe")
 	rows, err := s.AblateRecipe(hsRecipe, util)
+	stopRecipe()
 	if err != nil {
 		return err
 	}
+	sess.Report.SetExtra("recipe", rows)
 	fmt.Printf("%-18s %14s %14s %10s\n", "config", "exact [ms]", "recipe [ms]", "penalty")
 	for _, r := range rows {
 		fmt.Printf("%-18s %14.4g %14.4g %9.3f×\n", r.Label, r.Full, r.Ablated, r.Penalty())
@@ -78,27 +103,33 @@ func run(util float64, quick, region bool) error {
 
 	fmt.Println("== Ablation: fixed γ and fixed α vs optimized ==")
 	fmt.Printf("%-26s %14s %14s %10s\n", "config", "optimized", "ablated", "penalty")
+	stopParams := sess.Stage("gamma-alpha")
 	for _, frac := range []float64{0.25, 0.5, 0.75} {
 		row, err := s.AblateGamma(5, util, frac)
 		if err != nil {
+			stopParams()
 			return err
 		}
 		fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
 	}
 	row, err := s.AblateAlpha(5, util)
+	stopParams()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
 
-	if region {
+	if *region {
 		fmt.Println("\n== Two-class admissible region (C=50 Mbps, d1=10 ms, d2=100 ms) ==")
 		spec := experiments.RegionSpec{Capacity: 50, D1: 10, D2: 100}
 		n1s := []float64{10, 40, 80, 120, 160}
+		stopRegion := sess.Stage("region")
 		series, err := s.AdmissibleRegion(spec, n1s)
+		stopRegion()
 		if err != nil {
 			return err
 		}
+		sess.Report.SetExtra("region", series)
 		if err := plotTable(series); err != nil {
 			return err
 		}

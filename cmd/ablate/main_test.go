@@ -2,12 +2,20 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"strings"
 	"testing"
 
 	"deltasched/internal/plot"
 )
+
+func TestRunHelpIsErrHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h must surface flag.ErrHelp, got %v", err)
+	}
+}
 
 func TestPlotTable(t *testing.T) {
 	// plotTable writes to stdout; capture it.

@@ -21,16 +21,14 @@ import (
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "delaybound:", err)
-		os.Exit(1)
-	}
+	obs.Exit("delaybound", run(os.Args[1:]))
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("delaybound", flag.ContinueOnError)
 	var (
 		h        = fs.Int("H", 1, "path length (number of nodes)")
@@ -48,19 +46,36 @@ func run(args []string) error {
 		additive = fs.Bool("additive", false, "also compute the node-by-node additive bound")
 		config   = fs.String("config", "", "JSON file describing a heterogeneous path (overrides the flags)")
 	)
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	sess, err := of.Start("delaybound")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	sess.Report.Config = obs.ConfigFromFlags(fs)
 
 	if *config != "" {
 		pf, err := loadPathFile(*config)
 		if err != nil {
 			return err
 		}
+		stop := sess.Stage("optimize-hetero")
 		res, err := heteroBound(pf)
+		stop()
 		if err != nil {
 			return err
 		}
+		sess.Report.SetBound("delay_bound_slots", res.D)
+		sess.Report.SetBound("gamma", res.Gamma)
 		fmt.Printf("heterogeneous path: %d nodes, eps=%.3g\n", len(pf.Nodes), pf.Eps)
 		for i, n := range pf.Nodes {
 			fmt.Printf("  node %d: C=%g kbit/slot, %g cross flows, %s\n", i+1, n.C, n.CrossFlows, n.Sched)
@@ -105,22 +120,25 @@ func run(args []string) error {
 		return core.PathConfig{H: *h, C: *c, Through: through, Cross: cross, Delta0c: delta}, nil
 	}
 
-	var (
-		res core.Result
-		err error
-	)
+	stopOpt := sess.Stage("optimize")
+	var res core.Result
 	if *alpha > 0 {
 		cfg, berr := build(*alpha)
 		if berr != nil {
+			stopOpt()
 			return berr
 		}
 		res, err = core.DelayBound(cfg, *eps)
 	} else {
 		res, err = core.OptimizeAlpha(build, *eps, 1e-3, 50)
 	}
+	stopOpt()
 	if err != nil {
 		return err
 	}
+	sess.Report.SetBound("delay_bound_slots", res.D)
+	sess.Report.SetBound("gamma", res.Gamma)
+	sess.Report.SetBound("sigma", res.Sigma)
 
 	mean := src.MeanRate()
 	fmt.Printf("scheduler        : %s (Delta_0c = %g)\n", *sched, delta)
@@ -139,12 +157,15 @@ func run(args []string) error {
 		if berr != nil {
 			return berr
 		}
+		stopAdd := sess.Stage("additive")
 		add, aerr := core.AdditiveBound(cfg, *eps)
+		stopAdd()
 		if aerr != nil {
 			fmt.Printf("additive bound   : infeasible (%v)\n", aerr)
 		} else {
 			fmt.Printf("additive bound   : %.4g slots (node-by-node; looseness ×%.2f)\n",
 				add.D, add.D/res.D)
+			sess.Report.SetBound("additive_bound_slots", add.D)
 		}
 	}
 	return nil

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"strings"
 	"testing"
 )
+
+func TestRunHelpIsErrHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h must surface flag.ErrHelp, got %v", err)
+	}
+}
 
 func TestCompact(t *testing.T) {
 	short := compact([]float64{1, 2, 3})

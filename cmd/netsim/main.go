@@ -17,18 +17,16 @@ import (
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/obs"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
-	}
+	obs.Exit("netsim", run(os.Args[1:]))
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
 	var (
 		h     = fs.Int("H", 3, "path length (number of nodes)")
@@ -45,10 +43,25 @@ func run(args []string) error {
 		slots = fs.Int("slots", 200000, "simulation length in slots")
 		seed  = fs.Int64("seed", 1, "RNG seed")
 		eps   = fs.Float64("eps", 1e-2, "violation probability for the analytical bound")
+		every = fs.Int("probe-every", 1, "probe sampling stride in slots (with -report)")
 	)
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	sess, err := of.Start("netsim")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	sess.Report.Config = obs.ConfigFromFlags(fs)
+	sess.Report.Seed = *seed
 
 	src := envelope.PaperSource()
 	mkSched, delta, err := schedulerFor(*sched, *edfD0, *edfDc, *gpsW0, *gpsWc)
@@ -92,7 +105,9 @@ func run(args []string) error {
 		}
 		return core.PathConfig{H: *h, C: *c, Through: through, Cross: cross, Delta0c: delta}, nil
 	}
+	stopBound := sess.Stage("optimize-bound")
 	res, err := core.OptimizeAlpha(build, *eps, 1e-3, 50)
+	stopBound()
 	if err != nil {
 		return fmt.Errorf("computing the bound: %w", err)
 	}
@@ -111,11 +126,24 @@ func run(args []string) error {
 		cross[i] = cs
 	}
 	tan := &sim.Tandem{C: *c, Through: through, Cross: cross, MakeSched: mkSched}
+	var probe *obs.SimProbe
+	if of.Report != "" {
+		probe = &obs.SimProbe{Every: *every}
+		tan.Probe = probe
+	}
+	if pr := sess.NewProgress("netsim: slots"); pr != nil {
+		tan.Progress = pr.Observe
+		defer pr.Finish()
+	}
+	stopSim := sess.Stage("simulate")
 	rec, stats, err := tan.Run(*slots)
+	stopSim()
 	if err != nil {
 		return err
 	}
+	stopAnalyze := sess.Stage("analyze")
 	dist := rec.Distribution()
+	defer stopAnalyze()
 
 	mean := src.MeanRate()
 	fmt.Printf("scenario         : H=%d C=%g, N0=%d + Nc=%d MMOO flows, scheduler %s\n", *h, *c, *n0, *nc, *sched)
@@ -137,6 +165,18 @@ func run(args []string) error {
 	fmt.Printf("%s : %.4g slots at eps=%.3g\n", label, res.D, *eps)
 	frac := dist.ViolationFraction(res.D)
 	fmt.Printf("empirical P(W>d) : %.3g  →  bound %s\n", frac, verdict(frac <= *eps))
+
+	sess.Report.Nodes = probe.Summaries()
+	sess.Report.SetBound("delay_bound_slots", res.D)
+	sess.Report.SetBound("empirical_violation_fraction", frac)
+	sess.Report.SetMetric("through_arrived_kbit", stats.ThroughArrived)
+	sess.Report.SetMetric("cross_arrived_kbit", stats.CrossArrived)
+	sess.Report.SetMetric("max_node_backlog_kbit", stats.MaxBacklog)
+	for _, p := range []float64{0.5, 0.99, 0.999, 0.9999} {
+		if q, err := dist.Quantile(p); err == nil {
+			sess.Report.SetBound(fmt.Sprintf("delay_p%g_slots", 100*p), float64(q))
+		}
+	}
 	if *ccdf {
 		ds, ps := dist.CCDF()
 		fmt.Println("\nempirical CCDF (delay [slots], P(W > delay)):")

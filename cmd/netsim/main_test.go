@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"flag"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"deltasched/internal/obs"
 )
 
 func TestSchedulerFor(t *testing.T) {
@@ -68,5 +75,54 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if err := run([]string{"-sched", "gps", "-pktsize", "2"}); err == nil {
 		t.Fatal("pktsize with gps must error")
+	}
+}
+
+func TestRunHelpIsErrHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h must surface flag.ErrHelp, got %v", err)
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "r.json")
+	cpu := filepath.Join(dir, "cpu.prof")
+	err := run([]string{"-H", "2", "-C", "20", "-n0", "5", "-nc", "10",
+		"-slots", "3000", "-eps", "1e-2", "-seed", "3",
+		"-report", report, "-cpuprofile", cpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r obs.RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if r.Tool != "netsim" || r.Seed != 3 {
+		t.Fatalf("report header wrong: tool=%q seed=%d", r.Tool, r.Seed)
+	}
+	if r.Config["slots"] != float64(3000) {
+		t.Fatalf("config not captured: slots=%v", r.Config["slots"])
+	}
+	if len(r.Stages) < 3 {
+		t.Fatalf("expected >= 3 stages, got %v", r.Stages)
+	}
+	if len(r.Nodes) != 2 {
+		t.Fatalf("expected 2 node summaries, got %d", len(r.Nodes))
+	}
+	for _, n := range r.Nodes {
+		if n.Samples == 0 || n.Utilization <= 0 {
+			t.Fatalf("node summary empty: %+v", n)
+		}
+	}
+	if _, ok := r.Bounds["delay_bound_slots"]; !ok {
+		t.Fatalf("bounds missing: %v", r.Bounds)
+	}
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
 	}
 }

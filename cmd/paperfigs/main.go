@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR]
+//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-progress] [-report FILE]
 package main
 
 import (
@@ -17,29 +17,44 @@ import (
 	"time"
 
 	"deltasched/internal/experiments"
+	"deltasched/internal/obs"
 	"deltasched/internal/plot"
 )
 
 func main() {
-	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		quick  = flag.Bool("quick", false, "coarser sweeps (fast preview)")
-		outdir = flag.String("outdir", "", "directory for CSV output (optional)")
-	)
-	flag.Parse()
-	if err := run(*fig, *quick, *outdir); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
-	}
+	obs.Exit("paperfigs", run(os.Args[1:]))
 }
 
-func run(fig string, quick bool, outdir string) error {
+func run(args []string) (retErr error) {
+	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		quick  = fs.Bool("quick", false, "coarser sweeps (fast preview)")
+		outdir = fs.String("outdir", "", "directory for CSV output (optional)")
+	)
+	var of obs.Flags
+	of.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sess, err := of.Start("paperfigs")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	sess.Report.Config = obs.ConfigFromFlags(fs)
+
 	s := experiments.PaperSetup()
 
 	utils1 := sweep(0.20, 0.95, 0.05)
 	mixes := sweep(0.1, 0.9, 0.1)
 	hs3 := intSweep(1, 30, 1)
-	if quick {
+	if *quick {
 		utils1 = sweep(0.20, 0.95, 0.15)
 		mixes = sweep(0.1, 0.9, 0.2)
 		hs3 = []int{1, 2, 4, 6, 8, 12, 16, 20, 25, 30}
@@ -76,14 +91,24 @@ func run(fig string, quick bool, outdir string) error {
 	}
 
 	for _, f := range figures {
-		if fig != "all" && fig != f.id {
+		if *fig != "all" && *fig != f.id {
 			continue
 		}
+		pr := sess.NewProgress("fig " + f.id)
+		s.OnProgress = nil
+		if pr != nil {
+			s.OnProgress = pr.Observe
+		}
+		stop := sess.Stage("fig-" + f.id)
 		start := time.Now()
 		series, err := f.make()
+		stop()
+		pr.Finish()
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", f.id, err)
 		}
+		sess.Report.SetExtra("fig"+f.id, series)
+		sess.Report.SetMetric("fig"+f.id+"_series", float64(len(series)))
 		fmt.Printf("\n%s   (computed in %v)\n\n", f.title, time.Since(start).Round(time.Millisecond))
 		if err := plot.Table(os.Stdout, f.xlabel, series...); err != nil {
 			return err
@@ -98,11 +123,11 @@ func run(fig string, quick bool, outdir string) error {
 		}, series...); err != nil {
 			return err
 		}
-		if outdir != "" {
-			if err := os.MkdirAll(outdir, 0o755); err != nil {
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
 				return err
 			}
-			path := filepath.Join(outdir, "fig"+f.id+".csv")
+			path := filepath.Join(*outdir, "fig"+f.id+".csv")
 			out, err := os.Create(path)
 			if err != nil {
 				return err

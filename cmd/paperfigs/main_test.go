@@ -1,9 +1,23 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"math"
 	"testing"
 )
+
+func TestRunHelpIsErrHelp(t *testing.T) {
+	if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h must surface flag.ErrHelp, got %v", err)
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("unknown flag must be a plain error, got %v", err)
+	}
+}
 
 func TestSweep(t *testing.T) {
 	got := sweep(0.2, 0.6, 0.2)

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
@@ -23,6 +24,12 @@ type Setup struct {
 	PerFlow  float64       // nominal per-flow average used in the paper's U ↔ N mapping
 	AlphaLo  float64       // α sweep range for the EBB decay parameter
 	AlphaHi  float64
+
+	// OnProgress, when non-nil, receives sweep progress from the Example
+	// functions: points completed so far of the example's total. Calls
+	// arrive from worker goroutines but are serialized and monotonic, so
+	// the callback can print directly (e.g. obs.Progress.Observe).
+	OnProgress func(done, total int)
 }
 
 // PaperSetup returns the configuration used throughout Section V.
@@ -90,6 +97,26 @@ func (s Scheduler) deadlineRatio() (ratio float64, isEDF bool) {
 		return 0.5, true // d*_c = d*_0/2
 	default:
 		return 0, false
+	}
+}
+
+// progressCounter adapts OnProgress to the per-call hooks of
+// ParMapProgress: an example runs several ParMap batches in sequence, and
+// the counter accumulates completions across them against the example's
+// grand total. Returns nil (no hook) when OnProgress is unset.
+func (s Setup) progressCounter(total int) func(done, batchTotal int) {
+	if s.OnProgress == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	done := 0
+	cb := s.OnProgress
+	return func(int, int) {
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		cb(d, total)
 	}
 }
 
@@ -190,23 +217,24 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 func (s Setup) Example1(hs []int, utils []float64) ([]plot.Series, error) {
 	const n0 = 100 // the paper's fixed through population (U0 = 15%)
 	scheds := []Scheduler{BMUX, FIFO, EDFRatio10}
+	var xs []float64 // feasible utilizations, identical for every series
+	for _, u := range utils {
+		if s.FlowCount(u)-n0 >= 0 {
+			xs = append(xs, u)
+		}
+	}
+	prog := s.progressCounter(len(hs) * len(scheds) * len(xs))
 	var out []plot.Series
 	for _, h := range hs {
 		for _, sched := range scheds {
 			h, sched := h, sched
-			var xs []float64
-			for _, u := range utils {
-				if s.FlowCount(u)-n0 >= 0 {
-					xs = append(xs, u)
-				}
-			}
-			ys, err := ParMap(0, xs, func(u float64) (float64, error) {
+			ys, err := ParMapProgress(0, xs, func(u float64) (float64, error) {
 				d, err := s.Bound(sched, h, n0, s.FlowCount(u)-n0)
 				if err != nil {
 					return math.NaN(), nil // infeasible at this load
 				}
 				return d, nil
-			})
+			}, prog)
 			if err != nil {
 				return nil, err
 			}
@@ -237,17 +265,18 @@ func (s Setup) Example2(hs []int, mixes []float64) ([]plot.Series, error) {
 			return nil, fmt.Errorf("experiments: example 2: mix %g outside [0,1]", mix)
 		}
 	}
+	prog := s.progressCounter(len(hs) * len(scheds) * len(mixes))
 	for _, h := range hs {
 		for _, sched := range scheds {
 			h, sched := h, sched
-			ys, err := ParMap(0, mixes, func(mix float64) (float64, error) {
+			ys, err := ParMapProgress(0, mixes, func(mix float64) (float64, error) {
 				nc := total * mix
 				d, err := s.Bound(sched, h, total-nc, nc)
 				if err != nil {
 					return math.NaN(), nil
 				}
 				return d, nil
-			})
+			}, prog)
 			if err != nil {
 				return nil, err
 			}
@@ -265,18 +294,19 @@ func (s Setup) Example2(hs []int, mixes []float64) ([]plot.Series, error) {
 // and the additive node-by-node BMUX baseline.
 func (s Setup) Example3(hs []int, utils []float64) ([]plot.Series, error) {
 	scheds := []Scheduler{BMUX, FIFO, EDFRatio10, BMUXAdditive}
+	prog := s.progressCounter(len(utils) * len(scheds) * len(hs))
 	var out []plot.Series
 	for _, u := range utils {
 		n := s.FlowCount(u) / 2 // N0 = Nc
 		for _, sched := range scheds {
 			sched := sched
-			ys, err := ParMap(0, hs, func(h int) (float64, error) {
+			ys, err := ParMapProgress(0, hs, func(h int) (float64, error) {
 				d, err := s.Bound(sched, h, n, n)
 				if err != nil {
 					return math.NaN(), nil
 				}
 				return d, nil
-			})
+			}, prog)
 			if err != nil {
 				return nil, err
 			}

@@ -14,6 +14,15 @@ import (
 // independent bound computation — so this is the only concurrency the
 // experiment harness needs.
 func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
+	return ParMapProgress(workers, in, fn, nil)
+}
+
+// ParMapProgress is ParMap with a completion hook: after each input
+// finishes successfully, onDone receives the number of completed inputs
+// and the batch size. Calls to onDone are serialized and monotonic in the
+// completion count, so it can drive a progress display directly; a nil
+// onDone makes this exactly ParMap.
+func ParMapProgress[T, R any](workers int, in []T, fn func(T) (R, error), onDone func(done, total int)) ([]R, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("experiments: ParMap needs a function")
 	}
@@ -34,6 +43,9 @@ func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
 				return nil, fmt.Errorf("experiments: input %d: %w", i, err)
 			}
 			out[i] = r
+			if onDone != nil {
+				onDone(i+1, len(in))
+			}
 		}
 		return out, nil
 	}
@@ -46,6 +58,7 @@ func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
 		firstMu sync.Once
 		first   error
 		aborted bool
+		done    int
 	)
 	setErr := func(err error) {
 		firstMu.Do(func() {
@@ -74,6 +87,12 @@ func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
 					continue
 				}
 				out[j.idx] = r
+				if onDone != nil {
+					mu.Lock()
+					done++
+					onDone(done, len(in))
+					mu.Unlock()
+				}
 			}
 		}()
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -69,6 +70,83 @@ func TestParMapBoundsConcurrency(t *testing.T) {
 	}
 	if p := atomic.LoadInt64(&peak); p > 3 {
 		t.Fatalf("concurrency peak %d exceeds the worker cap 3", p)
+	}
+}
+
+func TestParMapProgressHook(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		in := make([]int, 20)
+		_, err := ParMapProgress(workers, in, func(x int) (int, error) { return x, nil },
+			func(done, total int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if total != 20 {
+					t.Errorf("total = %d, want 20", total)
+				}
+				seen = append(seen, done)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 20 {
+			t.Fatalf("workers=%d: %d progress calls, want 20", workers, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress not monotonic: %v", workers, seen)
+			}
+		}
+	}
+}
+
+func TestParMapProgressSkipsFailedBatch(t *testing.T) {
+	sentinel := errors.New("boom")
+	calls := 0
+	var mu sync.Mutex
+	_, err := ParMapProgress(4, []int{0, 1, 2, 3}, func(x int) (int, error) {
+		if x == 0 {
+			return 0, sentinel
+		}
+		return x, nil
+	}, func(done, total int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel, got %v", err)
+	}
+	if calls > 3 {
+		t.Fatalf("failed input must not count as progress (%d calls)", calls)
+	}
+}
+
+func TestExampleProgressCallback(t *testing.T) {
+	s := PaperSetup()
+	var mu sync.Mutex
+	var last, total int
+	calls := 0
+	s.OnProgress = func(d, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if d <= last {
+			t.Errorf("progress not monotonic: %d after %d", d, last)
+		}
+		last, total = d, tot
+	}
+	series, err := s.Example3([]int{1, 2}, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 utilization × 4 schedulers × 2 path lengths = 8 points.
+	if total != 8 || last != 8 || calls != 8 {
+		t.Fatalf("progress saw last=%d total=%d calls=%d, want 8/8/8", last, total, calls)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series count changed: %d", len(series))
 	}
 }
 

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds is unavailable off unix; stage CPU times read as 0.
+func processCPUSeconds() float64 { return 0 }

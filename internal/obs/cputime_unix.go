@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUSeconds returns the user+system CPU time consumed by the
+// process so far, from getrusage(2). Differences between two readings
+// give the CPU cost of a stage.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

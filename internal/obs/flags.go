@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// Flags is the uniform observability flag block shared by every command:
+//
+//	-report FILE      write a JSON run report
+//	-progress         report progress and stage timings on stderr
+//	-cpuprofile FILE  write a CPU profile (go tool pprof)
+//	-memprofile FILE  write a heap profile taken at exit
+//	-trace FILE       write a runtime execution trace (go tool trace)
+type Flags struct {
+	Report     string
+	Progress   bool
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register installs the flags on a FlagSet.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Report, "report", "", "write a JSON run report to this file")
+	fs.BoolVar(&f.Progress, "progress", false, "report progress and stage timings on stderr")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Session is a started observability session: profiles running, report
+// accumulating. Close stops everything and writes the requested
+// artifacts. All methods are nil-safe.
+type Session struct {
+	Report   *RunReport
+	Progress bool
+
+	flags     Flags
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Start begins a session for the named tool: it creates the run report
+// and starts the CPU profile and execution trace if requested.
+func (f Flags) Start(tool string) (*Session, error) {
+	s := &Session{Report: NewReport(tool), Progress: f.Progress, flags: f}
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+		s.cpuFile = cf
+	}
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			s.stopProfiles()
+			return nil, fmt.Errorf("obs: creating trace: %w", err)
+		}
+		if err := trace.Start(tf); err != nil {
+			tf.Close()
+			s.stopProfiles()
+			return nil, fmt.Errorf("obs: starting trace: %w", err)
+		}
+		s.traceFile = tf
+	}
+	return s, nil
+}
+
+// Stage times a named stage of the run, recording it in the report and —
+// when -progress is set — printing the timing on stderr. It returns the
+// function that ends the stage.
+func (s *Session) Stage(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	stop := s.Report.Stage(name)
+	if !s.Progress {
+		return stop
+	}
+	start := time.Now()
+	return func() {
+		stop()
+		fmt.Fprintf(os.Stderr, "%s: stage %-16s %s\n", s.Report.Tool, name, fmtDur(time.Since(start)))
+	}
+}
+
+// NewProgress returns a stderr progress reporter when -progress is set,
+// nil otherwise (nil *Progress methods are no-ops).
+func (s *Session) NewProgress(label string) *Progress {
+	if s == nil || !s.Progress {
+		return nil
+	}
+	return NewProgress(label, os.Stderr)
+}
+
+func (s *Session) stopProfiles() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		s.traceFile.Close()
+		s.traceFile = nil
+	}
+}
+
+// Close stops the CPU profile and trace, writes the heap profile, and
+// writes the JSON report, returning the first error. Nil-safe and
+// idempotent for the profile side.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	s.stopProfiles()
+	if s.flags.MemProfile != "" {
+		mf, err := os.Create(s.flags.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("obs: creating mem profile: %w", err))
+		} else {
+			runtime.GC() // up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(mf))
+			keep(mf.Close())
+		}
+	}
+	if s.flags.Report != "" {
+		keep(s.Report.WriteFile(s.flags.Report))
+	}
+	return first
+}
+
+// Exit implements the uniform CLI exit protocol for a command's run
+// function: nil returns normally; flag.ErrHelp exits 2 (the flag package
+// has already printed usage); anything else prints "tool: err" on stderr
+// and exits 1.
+func Exit(tool string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, tool+":", err)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// StageTiming is the cost of one named stage of a run.
+type StageTiming struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+}
+
+// NodeSummary condenses a SimProbe's per-node observations: how much the
+// node served, how loaded it ran, and how deep its queues got. Bits and
+// capacities are in the simulator's kbit-per-slot units.
+type NodeSummary struct {
+	Node         int     `json:"node"`
+	Samples      int64   `json:"samples"`
+	ServedBits   float64 `json:"served_bits"`
+	Utilization  float64 `json:"utilization"`   // served bits / offered capacity over the sampled slots
+	BusyFraction float64 `json:"busy_fraction"` // sampled slots that transmitted anything
+	MeanBacklog  float64 `json:"mean_backlog"`
+	MaxBacklog   float64 `json:"max_backlog"`
+	MeanQueueLen float64 `json:"mean_queue_len"`
+	MaxQueueLen  int     `json:"max_queue_len"`
+}
+
+// RunReport is the JSON artifact of one tool invocation: enough context
+// (config, seed, code version) to reproduce the run, and enough
+// measurement (stage timings, probe summaries, computed bounds) to diff
+// two runs meaningfully.
+type RunReport struct {
+	Tool        string             `json:"tool"`
+	Version     string             `json:"version"`
+	StartedAt   time.Time          `json:"started_at"`
+	WallSeconds float64            `json:"wall_seconds"`
+	CPUSeconds  float64            `json:"cpu_seconds"`
+	Seed        int64              `json:"seed,omitempty"`
+	Config      map[string]any     `json:"config,omitempty"`
+	Stages      []StageTiming      `json:"stages,omitempty"`
+	Nodes       []NodeSummary      `json:"nodes,omitempty"`
+	Bounds      map[string]float64 `json:"bounds,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Extra       map[string]any     `json:"extra,omitempty"`
+
+	mu       sync.Mutex
+	wallFrom time.Time
+	cpuFrom  float64
+}
+
+// NewReport starts a report for the named tool, stamping the code version
+// and the start time.
+func NewReport(tool string) *RunReport {
+	return &RunReport{
+		Tool:      tool,
+		Version:   buildVersion(),
+		StartedAt: time.Now(),
+		wallFrom:  time.Now(),
+		cpuFrom:   processCPUSeconds(),
+	}
+}
+
+// Stage starts timing a named stage and returns the function that ends
+// it, appending wall and CPU seconds to the report. Nil-safe.
+func (r *RunReport) Stage(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	wall0 := time.Now()
+	cpu0 := processCPUSeconds()
+	return func() {
+		st := StageTiming{
+			Name:        name,
+			WallSeconds: time.Since(wall0).Seconds(),
+			CPUSeconds:  processCPUSeconds() - cpu0,
+		}
+		r.mu.Lock()
+		r.Stages = append(r.Stages, st)
+		r.mu.Unlock()
+	}
+}
+
+// SetBound records a named result (delay bounds, violation fractions,
+// quantiles). Nil-safe.
+func (r *RunReport) SetBound(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.Bounds == nil {
+		r.Bounds = make(map[string]float64)
+	}
+	r.Bounds[name] = v
+	r.mu.Unlock()
+}
+
+// SetMetric records a named counter or gauge value. Nil-safe.
+func (r *RunReport) SetMetric(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+	r.mu.Unlock()
+}
+
+// SetExtra attaches an arbitrary JSON-marshalable payload (figure series,
+// ablation tables). Nil-safe.
+func (r *RunReport) SetExtra(name string, v any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.Extra == nil {
+		r.Extra = make(map[string]any)
+	}
+	r.Extra[name] = v
+	r.mu.Unlock()
+}
+
+// Finalize stamps the total wall and CPU time. It is called by WriteFile,
+// and is idempotent enough to call again after further updates.
+func (r *RunReport) Finalize() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.WallSeconds = time.Since(r.wallFrom).Seconds()
+	r.CPUSeconds = processCPUSeconds() - r.cpuFrom
+	r.mu.Unlock()
+}
+
+// WriteFile finalizes the report and writes it as indented JSON.
+func (r *RunReport) WriteFile(path string) error {
+	if r == nil {
+		return fmt.Errorf("obs: nil report")
+	}
+	r.Finalize()
+	r.mu.Lock()
+	data, err := json.MarshalIndent(r, "", "  ")
+	r.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("obs: marshaling report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ConfigFromFlags snapshots every flag's final value (defaults included)
+// of a parsed FlagSet, so the report records the exact configuration.
+func ConfigFromFlags(fs *flag.FlagSet) map[string]any {
+	if fs == nil {
+		return nil
+	}
+	cfg := make(map[string]any)
+	fs.VisitAll(func(f *flag.Flag) {
+		if g, ok := f.Value.(flag.Getter); ok {
+			cfg[f.Name] = g.Get()
+			return
+		}
+		cfg[f.Name] = f.Value.String()
+	})
+	return cfg
+}
+
+// buildVersion derives a git-describe-style version from the build info
+// the Go toolchain embeds in binaries built inside a VCS checkout:
+// g<rev12>[-dirty] (<commit time>). Test binaries and `go run` builds may
+// carry no VCS stamps; those report "devel".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	v := "g" + rev
+	if dirty {
+		v += "-dirty"
+	}
+	if at != "" {
+		v += " (" + at + ")"
+	}
+	return v
+}

@@ -1,0 +1,101 @@
+package obs
+
+// SimProbe collects per-node statistics from a simulation run: served
+// bits, offered capacity, backlog, and scheduler queue depth, sampled
+// every Every slots (every slot when Every <= 1). It satisfies the
+// sim.Probe interface structurally, which keeps this package free of
+// repository dependencies.
+//
+// A SimProbe is single-run, single-goroutine state, matching the
+// simulator's execution model; nil-safety lets callers attach one
+// conditionally without branching at every use.
+type SimProbe struct {
+	Every int // sampling stride in slots; <= 1 samples every slot
+
+	nodes []probeNode
+}
+
+type probeNode struct {
+	samples    int64
+	served     float64
+	budget     float64
+	busy       int64
+	backlogSum float64
+	backlogMax float64
+	qlenSum    float64
+	qlenMax    int
+	hasQLen    bool
+}
+
+// Sample reports whether this slot should be observed.
+func (p *SimProbe) Sample(slot int) bool {
+	if p == nil {
+		return false
+	}
+	return p.Every <= 1 || slot%p.Every == 0
+}
+
+// ObserveNode records one node's post-service state for a sampled slot.
+// queueLen < 0 means the scheduler does not expose a queue depth.
+func (p *SimProbe) ObserveNode(node, slot int, served, capacity, backlog float64, queueLen int) {
+	if p == nil || node < 0 {
+		return
+	}
+	for len(p.nodes) <= node {
+		p.nodes = append(p.nodes, probeNode{})
+	}
+	n := &p.nodes[node]
+	n.samples++
+	n.served += served
+	n.budget += capacity
+	if served > 1e-12 {
+		n.busy++
+	}
+	n.backlogSum += backlog
+	if backlog > n.backlogMax {
+		n.backlogMax = backlog
+	}
+	if queueLen >= 0 {
+		n.hasQLen = true
+		n.qlenSum += float64(queueLen)
+		if queueLen > n.qlenMax {
+			n.qlenMax = queueLen
+		}
+	}
+}
+
+// Summaries condenses the observations into one NodeSummary per node, in
+// node order. Nil and empty probes return nil.
+func (p *SimProbe) Summaries() []NodeSummary {
+	if p == nil || len(p.nodes) == 0 {
+		return nil
+	}
+	out := make([]NodeSummary, len(p.nodes))
+	for i, n := range p.nodes {
+		s := NodeSummary{
+			Node:       i,
+			Samples:    n.samples,
+			ServedBits: n.served,
+			MaxBacklog: n.backlogMax,
+			MaxQueueLen: func() int {
+				if n.hasQLen {
+					return n.qlenMax
+				}
+				return -1
+			}(),
+			MeanQueueLen: -1,
+		}
+		if n.samples > 0 {
+			s.BusyFraction = float64(n.busy) / float64(n.samples)
+			s.MeanBacklog = n.backlogSum / float64(n.samples)
+			if n.hasQLen {
+				s.MeanQueueLen = n.qlenSum / float64(n.samples)
+			}
+		}
+		if n.budget > 0 {
+			s.Utilization = n.served / n.budget
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -140,3 +140,12 @@ func (d *DRR) drain(f core.FlowID, amount float64) float64 {
 
 // Backlog implements Scheduler.
 func (d *DRR) Backlog() float64 { return d.backlog }
+
+// QueueLen implements QueueLener: queued chunks across all flows.
+func (d *DRR) QueueLen() int {
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -28,6 +28,18 @@ type Network struct {
 	Capacities []float64                // per-node capacities
 	MakeSched  func(node int) Scheduler // scheduler factory per node
 	Flows      []RoutedFlow
+
+	// Probe, when non-nil, observes every node's post-service state on
+	// the slots it elects to sample (see Probe). Probes never alter the
+	// simulation: a run with a probe attached is bit-identical to one
+	// without.
+	Probe Probe
+
+	// Progress, when non-nil, is invoked every ProgressEvery slots
+	// (default 1000) and once after the final slot, with the number of
+	// completed slots and the total.
+	Progress      func(done, total int)
+	ProgressEvery int
 }
 
 // Run advances the network and returns one end-to-end delay recorder per
@@ -95,8 +107,14 @@ func (n *Network) Run(slots int) ([]*measure.DelayRecorder, error) {
 		recs[i] = &measure.DelayRecorder{}
 	}
 
+	progressEvery := n.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 1000
+	}
+
 	out := make(map[core.FlowID]float64, len(n.Flows))
 	for slot := 0; slot < slots; slot++ {
+		probing := n.Probe != nil && n.Probe.Sample(slot)
 		// External arrivals at each flow's ingress.
 		for fi, f := range n.Flows {
 			a := f.Src.Next()
@@ -109,6 +127,9 @@ func (n *Network) Run(slots int) ([]*measure.DelayRecorder, error) {
 				delete(out, k)
 			}
 			nodes[node].Serve(n.Capacities[node], out)
+			if probing {
+				observeNode(n.Probe, nodes[node], node, slot, sumServed(out), n.Capacities[node])
+			}
 			for fid, bits := range out {
 				if bits <= 0 {
 					continue
@@ -126,6 +147,12 @@ func (n *Network) Run(slots int) ([]*measure.DelayRecorder, error) {
 				return nil, fmt.Errorf("sim: flow %d: %w", fi, err)
 			}
 		}
+		if n.Progress != nil && (slot+1)%progressEvery == 0 {
+			n.Progress(slot+1, slots)
+		}
+	}
+	if n.Progress != nil && slots%progressEvery != 0 {
+		n.Progress(slots, slots)
 	}
 	return recs, nil
 }

@@ -85,3 +85,13 @@ func (n *NonPreemptive) Serve(budget float64, out map[core.FlowID]float64) {
 func (n *NonPreemptive) Backlog() float64 {
 	return n.inner.Backlog() + n.residBits
 }
+
+// QueueLen implements QueueLener: queued chunks plus the packet on the
+// wire, if any.
+func (n *NonPreemptive) QueueLen() int {
+	ql := n.inner.QueueLen()
+	if n.residBits > 1e-12 {
+		ql++
+	}
+	return ql
+}

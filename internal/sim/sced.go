@@ -118,3 +118,6 @@ func (s *SCED) Serve(budget float64, out map[core.FlowID]float64) {
 
 // Backlog implements Scheduler.
 func (s *SCED) Backlog() float64 { return s.back }
+
+// QueueLen implements QueueLener: the number of queued chunks.
+func (s *SCED) QueueLen() int { return s.q.Len() }

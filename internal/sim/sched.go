@@ -172,6 +172,9 @@ func (p *Precedence) Serve(budget float64, out map[core.FlowID]float64) {
 // Backlog implements Scheduler.
 func (p *Precedence) Backlog() float64 { return p.backlog }
 
+// QueueLen implements QueueLener: the number of queued chunks.
+func (p *Precedence) QueueLen() int { return p.q.Len() }
+
 // GPS is generalized processor sharing: backlogged flows are served
 // simultaneously in proportion to their weights (fluid water-filling each
 // slot), FIFO within a flow. GPS is *not* a Δ-scheduler (the precedence
@@ -290,3 +293,12 @@ func (g *GPS) drain(f core.FlowID, amount float64) {
 
 // Backlog implements Scheduler.
 func (g *GPS) Backlog() float64 { return g.backlog }
+
+// QueueLen implements QueueLener: queued chunks across all flows.
+func (g *GPS) QueueLen() int {
+	n := 0
+	for _, q := range g.queues {
+		n += len(q)
+	}
+	return n
+}

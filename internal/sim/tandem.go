@@ -42,6 +42,18 @@ type Tandem struct {
 	// decompositions through PerNode after Run.
 	RecordPerNode bool
 
+	// Probe, when non-nil, observes every node's post-service state on
+	// the slots it elects to sample (see Probe). Probes never alter the
+	// simulation: a run with a probe attached is bit-identical to one
+	// without.
+	Probe Probe
+
+	// Progress, when non-nil, is invoked every ProgressEvery slots
+	// (default 1000) and once after the final slot, with the number of
+	// completed slots and the total.
+	Progress      func(done, total int)
+	ProgressEvery int
+
 	nodes   []Scheduler
 	perNode []*measure.DelayRecorder
 }
@@ -109,6 +121,11 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 		nodeD = make([]float64, h)
 	}
 
+	progressEvery := t.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 1000
+	}
+
 	var (
 		rec   measure.DelayRecorder
 		stats Stats
@@ -117,6 +134,7 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 		out   = make(map[core.FlowID]float64, 2)
 	)
 	for slot := 0; slot < slots; slot++ {
+		probing := t.Probe != nil && t.Probe.Sample(slot)
 		// External arrivals.
 		a := t.Through.Next()
 		cumA += a
@@ -144,6 +162,9 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 				capa = t.Cs[i]
 			}
 			t.nodes[i].Serve(capa, out)
+			if probing {
+				observeNode(t.Probe, t.nodes[i], i, slot, sumServed(out), capa)
+			}
 			fwd := out[ThroughFlow]
 			if t.RecordPerNode {
 				nodeD[i] += fwd
@@ -174,6 +195,12 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 				}
 			}
 		}
+		if t.Progress != nil && (slot+1)%progressEvery == 0 {
+			t.Progress(slot+1, slots)
+		}
+	}
+	if t.Progress != nil && slots%progressEvery != 0 {
+		t.Progress(slots, slots)
 	}
 	return &rec, stats, nil
 }
