@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figs figs-quick ablate fmt vet check profile clean
+.PHONY: all build test test-short race stress cover bench figs figs-quick ablate fmt vet check fuzz-smoke profile clean
 
 all: build test
 
@@ -17,6 +17,11 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# Repeated race-detector runs of the concurrency-heavy tiers: flaky
+# cancellation or checkpoint races rarely show on a single pass.
+stress:
+	$(GO) test -race -count=3 ./internal/sim/ ./internal/experiments/ ./internal/core/
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -41,7 +46,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# CI gate: formatting, static analysis, and race-sensitive packages.
+# Short fuzzing passes over the numeric kernels (one -fuzz target per
+# invocation is a Go toolchain restriction).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzInnerMinimize -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzCurveOps -fuzztime=10s ./internal/minplus/
+	$(GO) test -run='^$$' -fuzz=FuzzPseudoInverse -fuzztime=10s ./internal/minplus/
+
+# CI gate: formatting, static analysis, race-sensitive packages, and a
+# fuzz smoke test of the numeric kernels.
 check:
 	@unformatted=$$(gofmt -l cmd internal examples bench_test.go); \
 	if [ -n "$$unformatted" ]; then \
@@ -49,6 +62,7 @@ check:
 	fi
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(MAKE) fuzz-smoke
 
 # Profile a representative netsim run and show the hot functions.
 profile:

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +38,17 @@ func run(args []string) (retErr error) {
 	}
 	util := *utilFlag
 
+	ctx, stopSignals := obs.SignalContext(context.Background())
+	defer stopSignals()
+
 	sess, err := of.Start("ablate")
 	if err != nil {
 		return err
 	}
 	defer func() {
+		if obs.Interrupted(retErr) {
+			sess.Report.SetInterrupted()
+		}
 		if cerr := sess.Close(); cerr != nil && retErr == nil {
 			retErr = cerr
 		}
@@ -49,6 +56,7 @@ func run(args []string) (retErr error) {
 	sess.Report.Config = obs.ConfigFromFlags(fs)
 
 	s := experiments.PaperSetup()
+	s.Ctx = ctx
 	hsScaling := []int{2, 4, 8, 16, 24}
 	hsRecipe := []int{2, 5, 10}
 	hsGain := []int{1, 2, 4, 8, 16}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,6 +47,25 @@ func loadPathFile(path string) (pathFile, error) {
 	return parsePathFile(raw)
 }
 
+// badField reports a field-level configuration error, naming the JSON
+// path of the offending value and tagged core.ErrBadConfig so callers
+// can classify it with errors.Is.
+func badField(field, format string, args ...any) error {
+	return fmt.Errorf("%w: config: %s: %s", core.ErrBadConfig, field, fmt.Sprintf(format, args...))
+}
+
+// checkPositive rejects NaN, ±Inf, zero and negative values — none of
+// which is a meaningful rate, population, probability or deadline.
+func checkPositive(field string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return badField(field, "must be a finite number, got %g", v)
+	}
+	if v <= 0 {
+		return badField(field, "must be positive, got %g", v)
+	}
+	return nil
+}
+
 func parsePathFile(raw []byte) (pathFile, error) {
 	var pf pathFile
 	dec := json.NewDecoder(bytes.NewReader(raw))
@@ -53,28 +73,43 @@ func parsePathFile(raw []byte) (pathFile, error) {
 	if err := dec.Decode(&pf); err != nil {
 		return pathFile{}, fmt.Errorf("parse config: %w", err)
 	}
-	if pf.Eps <= 0 || pf.Eps >= 1 {
-		return pathFile{}, fmt.Errorf("config: eps must be in (0,1), got %g", pf.Eps)
+	if math.IsNaN(pf.Eps) || pf.Eps <= 0 || pf.Eps >= 1 {
+		return pathFile{}, badField("eps", "must be in (0,1), got %g", pf.Eps)
 	}
-	if pf.ThroughFlows <= 0 {
-		return pathFile{}, fmt.Errorf("config: throughFlows must be positive, got %g", pf.ThroughFlows)
+	if err := checkPositive("throughFlows", pf.ThroughFlows); err != nil {
+		return pathFile{}, err
 	}
 	if len(pf.Nodes) == 0 {
-		return pathFile{}, errors.New("config: at least one node is required")
+		return pathFile{}, fmt.Errorf("%w: config: nodes: at least one node is required", core.ErrBadConfig)
+	}
+	if err := checkPositive("source.peak", pf.Source.Peak); err != nil {
+		return pathFile{}, err
 	}
 	src := pf.mmoo()
 	if err := src.Validate(); err != nil {
-		return pathFile{}, fmt.Errorf("config: source: %w", err)
+		return pathFile{}, fmt.Errorf("%w: config: source: %w", core.ErrBadConfig, err)
 	}
 	for i, n := range pf.Nodes {
-		if n.C <= 0 {
-			return pathFile{}, fmt.Errorf("config: node %d: capacity must be positive, got %g", i+1, n.C)
+		path := fmt.Sprintf("nodes[%d]", i)
+		if err := checkPositive(path+".c", n.C); err != nil {
+			return pathFile{}, err
+		}
+		if math.IsNaN(n.CrossFlows) || math.IsInf(n.CrossFlows, 0) {
+			return pathFile{}, badField(path+".crossFlows", "must be a finite number, got %g", n.CrossFlows)
 		}
 		if n.CrossFlows < 0 {
-			return pathFile{}, fmt.Errorf("config: node %d: crossFlows must be >= 0, got %g", i+1, n.CrossFlows)
+			return pathFile{}, badField(path+".crossFlows", "must be >= 0, got %g", n.CrossFlows)
+		}
+		if n.Sched == "edf" {
+			if err := checkPositive(path+".edfD0", n.EDFD0); err != nil {
+				return pathFile{}, err
+			}
+			if err := checkPositive(path+".edfDc", n.EDFDc); err != nil {
+				return pathFile{}, err
+			}
 		}
 		if _, err := n.delta(); err != nil {
-			return pathFile{}, fmt.Errorf("config: node %d: %w", i+1, err)
+			return pathFile{}, fmt.Errorf("%w: config: %s.sched: %w", core.ErrBadConfig, path, err)
 		}
 	}
 	return pf, nil
@@ -103,10 +138,13 @@ func (n nodeSpec) delta() (float64, error) {
 }
 
 // heteroBound computes the α-optimized end-to-end bound for a parsed
-// configuration.
-func heteroBound(pf pathFile) (core.Result, error) {
+// configuration. A cancelled ctx aborts the α sweep.
+func heteroBound(ctx context.Context, pf pathFile) (core.Result, error) {
 	src := pf.mmoo()
 	build := func(alpha float64) (core.HeteroPath, error) {
+		if err := ctx.Err(); err != nil {
+			return core.HeteroPath{}, err
+		}
 		through, err := src.EBBAggregate(pf.ThroughFlows, alpha)
 		if err != nil {
 			return core.HeteroPath{}, err

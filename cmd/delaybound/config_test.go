@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func TestHeteroBoundFromConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := heteroBound(pf)
+	res, err := heteroBound(context.Background(), pf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestHeteroBoundFromConfig(t *testing.T) {
 	tighter := pf
 	tighter.Nodes = append([]nodeSpec(nil), pf.Nodes...)
 	tighter.Nodes[1].C = 45
-	resT, err := heteroBound(tighter)
+	resT, err := heteroBound(context.Background(), tighter)
 	if err != nil {
 		t.Fatal(err)
 	}

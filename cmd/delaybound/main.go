@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,11 +53,17 @@ func run(args []string) (retErr error) {
 		return err
 	}
 
+	ctx, stopSignals := obs.SignalContext(context.Background())
+	defer stopSignals()
+
 	sess, err := of.Start("delaybound")
 	if err != nil {
 		return err
 	}
 	defer func() {
+		if obs.Interrupted(retErr) {
+			sess.Report.SetInterrupted()
+		}
 		if cerr := sess.Close(); cerr != nil && retErr == nil {
 			retErr = cerr
 		}
@@ -69,7 +76,7 @@ func run(args []string) (retErr error) {
 			return err
 		}
 		stop := sess.Stage("optimize-hetero")
-		res, err := heteroBound(pf)
+		res, err := heteroBound(ctx, pf)
 		stop()
 		if err != nil {
 			return err
@@ -109,6 +116,9 @@ func run(args []string) (retErr error) {
 	}
 
 	build := func(a float64) (core.PathConfig, error) {
+		if err := ctx.Err(); err != nil {
+			return core.PathConfig{}, err
+		}
 		through, err := src.EBBAggregate(*n0, a)
 		if err != nil {
 			return core.PathConfig{}, err

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -51,11 +52,24 @@ func run(args []string) (retErr error) {
 		return err
 	}
 
+	if *slots <= 0 {
+		return fmt.Errorf("%w: -slots must be positive, got %d", core.ErrBadConfig, *slots)
+	}
+	if *eps <= 0 || *eps >= 1 || math.IsNaN(*eps) {
+		return fmt.Errorf("%w: -eps must be in (0,1), got %g", core.ErrBadConfig, *eps)
+	}
+
+	ctx, stopSignals := obs.SignalContext(context.Background())
+	defer stopSignals()
+
 	sess, err := of.Start("netsim")
 	if err != nil {
 		return err
 	}
 	defer func() {
+		if obs.Interrupted(retErr) {
+			sess.Report.SetInterrupted()
+		}
 		if cerr := sess.Close(); cerr != nil && retErr == nil {
 			retErr = cerr
 		}
@@ -95,6 +109,9 @@ func run(args []string) (retErr error) {
 		label = "BMUX fallback bound (not a Δ-scheduler)"
 	}
 	build := func(a float64) (core.PathConfig, error) {
+		if err := ctx.Err(); err != nil {
+			return core.PathConfig{}, err
+		}
 		through, err := src.EBBAggregate(float64(*n0), a)
 		if err != nil {
 			return core.PathConfig{}, err
@@ -125,22 +142,26 @@ func run(args []string) (retErr error) {
 		}
 		cross[i] = cs
 	}
-	tan := &sim.Tandem{C: *c, Through: through, Cross: cross, MakeSched: mkSched}
+	tan := &sim.Tandem{C: *c, Through: through, Cross: cross, MakeSched: mkSched, Ctx: ctx}
 	var probe *obs.SimProbe
 	if of.Report != "" {
 		probe = &obs.SimProbe{Every: *every}
 		tan.Probe = probe
 	}
-	if pr := sess.NewProgress("netsim: slots"); pr != nil {
-		tan.Progress = pr.Observe
-		defer pr.Finish()
-	}
+	pr := sess.NewProgress("netsim: slots")
+	tan.Progress = pr.Observe
 	stopSim := sess.Stage("simulate")
 	rec, stats, err := tan.Run(*slots)
 	stopSim()
 	if err != nil {
+		reason := "failed"
+		if obs.Interrupted(err) {
+			reason = "interrupted"
+		}
+		pr.Abort(reason)
 		return err
 	}
+	pr.Finish()
 	stopAnalyze := sess.Stage("analyze")
 	dist := rec.Distribution()
 	defer stopAnalyze()

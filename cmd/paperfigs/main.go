@@ -4,12 +4,18 @@
 // figure is printed as an aligned table and an ASCII chart, and optionally
 // written as CSV for external plotting.
 //
+// A run is interruptible: SIGINT/SIGTERM cancels the sweeps, flushes the
+// checkpoint (when -checkpoint is set) and a partial run report, and
+// exits 130. Re-running with -resume picks up where the interrupted run
+// stopped and produces byte-identical CSVs.
+//
 // Usage:
 //
-//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-progress] [-report FILE]
+//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-checkpoint FILE [-resume]] [-progress] [-report FILE]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,21 +34,50 @@ func main() {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		quick  = fs.Bool("quick", false, "coarser sweeps (fast preview)")
-		outdir = fs.String("outdir", "", "directory for CSV output (optional)")
+		fig        = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		quick      = fs.Bool("quick", false, "coarser sweeps (fast preview)")
+		outdir     = fs.String("outdir", "", "directory for CSV output (optional)")
+		checkpoint = fs.String("checkpoint", "", "record completed sweep points in this JSON file")
+		resume     = fs.Bool("resume", false, "skip points already recorded in the -checkpoint file")
 	)
 	var of obs.Flags
 	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	var check *experiments.Checkpoint
+	if *checkpoint != "" {
+		if *resume {
+			var err error
+			if check, err = experiments.LoadCheckpoint(*checkpoint); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "paperfigs: resuming with %d checkpointed points\n", check.Len())
+		} else {
+			check = experiments.NewCheckpoint(*checkpoint)
+		}
+	}
+
+	ctx, stopSignals := obs.SignalContext(context.Background())
+	defer stopSignals()
 
 	sess, err := of.Start("paperfigs")
 	if err != nil {
 		return err
 	}
 	defer func() {
+		// The checkpoint and a truthfully-marked report must land on disk
+		// even (especially) when the run is cut short.
+		if ferr := check.Flush(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+		if obs.Interrupted(retErr) {
+			sess.Report.SetInterrupted()
+		}
 		if cerr := sess.Close(); cerr != nil && retErr == nil {
 			retErr = cerr
 		}
@@ -50,6 +85,8 @@ func run(args []string) (retErr error) {
 	sess.Report.Config = obs.ConfigFromFlags(fs)
 
 	s := experiments.PaperSetup()
+	s.Ctx = ctx
+	s.Check = check
 
 	utils1 := sweep(0.20, 0.95, 0.05)
 	mixes := sweep(0.1, 0.9, 0.1)
@@ -95,18 +132,24 @@ func run(args []string) (retErr error) {
 			continue
 		}
 		pr := sess.NewProgress("fig " + f.id)
-		s.OnProgress = nil
-		if pr != nil {
-			s.OnProgress = pr.Observe
+		name := "fig" + f.id
+		s.OnProgress = func(done, total int) {
+			sess.Report.ObserveSweep(name, done, total)
+			pr.Observe(done, total)
 		}
 		stop := sess.Stage("fig-" + f.id)
 		start := time.Now()
 		series, err := f.make()
 		stop()
-		pr.Finish()
 		if err != nil {
+			reason := "failed"
+			if obs.Interrupted(err) {
+				reason = "interrupted"
+			}
+			pr.Abort(reason)
 			return fmt.Errorf("figure %s: %w", f.id, err)
 		}
+		pr.Finish()
 		sess.Report.SetExtra("fig"+f.id, series)
 		sess.Report.SetMetric("fig"+f.id+"_series", float64(len(series)))
 		fmt.Printf("\n%s   (computed in %v)\n\n", f.title, time.Since(start).Round(time.Millisecond))

@@ -15,7 +15,7 @@ package main
 import (
 	"errors"
 	"fmt"
-	"log"
+	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/minplus"
@@ -65,7 +65,7 @@ func main() {
 	for _, pol := range policies {
 		admitted, byClass, err := admitGreedy(linkRate, classes, mix, pol.make)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		util := 0.0
 		for _, cl := range classes {
@@ -146,4 +146,19 @@ func admitGreedy(
 		}
 	}
 	return int(next), byClass, nil
+}
+
+// fail prints a one-line diagnosis and exits non-zero. The error
+// taxonomy in internal/core lets an infeasible scenario (no finite
+// bound exists) read as a finding rather than a crash.
+func fail(err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "admission: infeasible scenario:", err)
+	case errors.Is(err, core.ErrBadConfig):
+		fmt.Fprintln(os.Stderr, "admission: bad scenario:", err)
+	default:
+		fmt.Fprintln(os.Stderr, "admission:", err)
+	}
+	os.Exit(1)
 }

@@ -12,10 +12,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
-	"log"
 	"os"
 
+	"deltasched/internal/core"
 	"deltasched/internal/experiments"
 	"deltasched/internal/plot"
 )
@@ -36,15 +37,15 @@ func main() {
 		for _, h := range hs {
 			bmux, err := setup.Bound(experiments.BMUX, h, n, n)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fifo, err := setup.Bound(experiments.FIFO, h, n, n)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			edf, err := setup.Bound(experiments.EDFRatio10, h, n, n)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Printf("%4d %12.2f %12.2f %12.2f %12.3f %12.3f\n",
 				h, bmux, fifo, edf, fifo/bmux, edf/bmux)
@@ -61,7 +62,7 @@ func main() {
 			YLabel: "ratio to the blind-multiplexing bound",
 			Height: 16,
 		}, fifoRatio, edfRatio); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 	}
 
@@ -69,4 +70,19 @@ func main() {
 	fmt.Println("as bad as treating the flow with the lowest priority. The EDF curve")
 	fmt.Println("stays well below 1: deadline-based scheduling keeps differentiating")
 	fmt.Println("flows no matter how long the path gets.")
+}
+
+// fail prints a one-line diagnosis and exits non-zero. The error
+// taxonomy in internal/core lets an infeasible scenario (no finite
+// bound exists) read as a finding rather than a crash.
+func fail(err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "longpath: infeasible scenario:", err)
+	case errors.Is(err, core.ErrBadConfig):
+		fmt.Fprintln(os.Stderr, "longpath: bad scenario:", err)
+	default:
+		fmt.Fprintln(os.Stderr, "longpath:", err)
+	}
+	os.Exit(1)
 }

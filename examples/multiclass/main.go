@@ -11,9 +11,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
@@ -54,7 +55,7 @@ func main() {
 	for i, cl := range classes {
 		agg, err := traffic.NewMMOOAggregate(cl.source, cl.flows, rng)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		sources[core.FlowID(i)] = agg
 		deadlines[core.FlowID(i)] = cl.deadline
@@ -62,7 +63,7 @@ func main() {
 	node := &sim.SingleNode{C: capacity, Sched: sim.NewEDF(deadlines), Sources: sources}
 	recs, err := node.Run(slots)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 
 	for i, cl := range classes {
@@ -80,25 +81,25 @@ func main() {
 			return r.D, nil
 		}, 1e-3, 50)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		through, cross, err := buildFlows(classes, i, alpha)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		res, err := core.DelayBoundStatNode(capacity, through, cross, eps)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 
 		dist := recs[core.FlowID(i)].Distribution()
 		q, err := dist.Quantile(0.999)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		mx, err := dist.Max()
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Printf("%-8s %6d %8gms %12.2fms %12dms %12dms %10.2g\n",
 			cl.name, cl.flows, cl.deadline, res.D, q, mx, dist.ViolationFraction(res.D))
@@ -130,4 +131,19 @@ func buildFlows(classes []class, tagged int, alpha float64) (envelope.EBB, []cor
 		})
 	}
 	return through, cross, nil
+}
+
+// fail prints a one-line diagnosis and exits non-zero. The error
+// taxonomy in internal/core lets an infeasible scenario (no finite
+// bound exists) read as a finding rather than a crash.
+func fail(err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "multiclass: infeasible scenario:", err)
+	case errors.Is(err, core.ErrBadConfig):
+		fmt.Fprintln(os.Stderr, "multiclass: bad scenario:", err)
+	default:
+		fmt.Fprintln(os.Stderr, "multiclass:", err)
+	}
+	os.Exit(1)
 }

@@ -8,9 +8,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
-	"log"
 	"math"
+	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
@@ -60,11 +61,26 @@ func main() {
 	for _, s := range schedulers {
 		res, err := core.OptimizeAlpha(build(s.delta), eps, 1e-3, 50)
 		if err != nil {
-			log.Fatalf("%s: %v", s.name, err)
+			fail(fmt.Errorf("%s: %w", s.name, err))
 		}
 		fmt.Printf("  %-38s d = %7.2f ms\n", s.name, res.D)
 	}
 
 	fmt.Println("\nThe spread between these numbers is the answer to the paper's title")
 	fmt.Println("question at this path length and load: scheduling still matters here.")
+}
+
+// fail prints a one-line diagnosis and exits non-zero. The error
+// taxonomy in internal/core lets an infeasible scenario (no finite
+// bound exists) read as a finding rather than a crash.
+func fail(err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "quickstart: infeasible scenario:", err)
+	case errors.Is(err, core.ErrBadConfig):
+		fmt.Fprintln(os.Stderr, "quickstart: bad scenario:", err)
+	default:
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+	}
+	os.Exit(1)
 }

@@ -17,9 +17,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
@@ -63,15 +64,15 @@ func main() {
 		return res.D, nil
 	}, 1e-3, 50)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	cfg, err := build(bestAlpha)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	res, d0, err := core.EDFProvisioned(cfg, eps, 10)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	dc := 10 * d0
 
@@ -89,13 +90,13 @@ func main() {
 		rng := rand.New(rand.NewSource(seed))
 		through, err := traffic.NewMMOOAggregate(src, nVid, rng)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		cross := make([]traffic.Source, hops)
 		for i := range cross {
 			cs, err := traffic.NewMMOOAggregate(src, nBkg, rng)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			cross[i] = cs
 		}
@@ -116,19 +117,19 @@ func main() {
 	for _, r := range runs {
 		rec, _, err := simulate(r.mk).Run(slots)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		dist := rec.Distribution()
 		q := func(p float64) int {
 			v, err := dist.Quantile(p)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			return v
 		}
 		mx, err := dist.Max()
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Printf("  %-20s %7dms %7dms %7dms %7dms %14.3g\n",
 			r.name, q(0.5), q(0.99), q(0.999), mx, dist.ViolationFraction(res.D))
@@ -143,4 +144,19 @@ func verdict(ok bool) string {
 		return "kept"
 	}
 	return "BROKEN"
+}
+
+// fail prints a one-line diagnosis and exits non-zero. The error
+// taxonomy in internal/core lets an infeasible scenario (no finite
+// bound exists) read as a finding rather than a crash.
+func fail(err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "videoconf: infeasible scenario:", err)
+	case errors.Is(err, core.ErrBadConfig):
+		fmt.Fprintln(os.Stderr, "videoconf: bad scenario:", err)
+	default:
+		fmt.Fprintln(os.Stderr, "videoconf:", err)
+	}
+	os.Exit(1)
 }

@@ -45,7 +45,7 @@ func AdditiveBound(cfg PathConfig, eps float64) (AdditiveResult, error) {
 		return AdditiveResult{}, err
 	}
 	if eps <= 0 || eps >= 1 {
-		return AdditiveResult{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return AdditiveResult{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	// Stability must hold at the last node, whose through rate has grown
 	// by (H−1)γ, plus the final sample-path slack: ρ + Hγ + ρ_c < C.
@@ -82,7 +82,7 @@ func AdditiveBound(cfg PathConfig, eps float64) (AdditiveResult, error) {
 
 func additiveAtGamma(cfg PathConfig, eps, gamma float64) (AdditiveResult, error) {
 	if gamma <= 0 {
-		return AdditiveResult{}, fmt.Errorf("core: gamma must be positive, got %g", gamma)
+		return AdditiveResult{}, badConfig("gamma must be positive, got %g", gamma)
 	}
 	perNodeEps := eps / float64(cfg.H)
 	left := cfg.C - cfg.Cross.Rho - gamma // BMUX leftover service rate

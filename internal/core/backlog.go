@@ -34,19 +34,19 @@ type BacklogResult struct {
 // the buffer either way). Flows with Δ = −∞ drop out entirely.
 func BacklogBoundStatNode(c float64, through envelope.EBB, cross []StatFlow, eps float64) (BacklogResult, error) {
 	if c <= 0 || math.IsNaN(c) {
-		return BacklogResult{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+		return BacklogResult{}, badConfig("link rate must be positive, got %g", c)
 	}
 	if eps <= 0 || eps >= 1 {
-		return BacklogResult{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return BacklogResult{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	if err := through.Validate(); err != nil {
-		return BacklogResult{}, fmt.Errorf("core: tagged flow: %w", err)
+		return BacklogResult{}, fmt.Errorf("%w: tagged flow: %w", ErrBadConfig, err)
 	}
 	active := make([]StatFlow, 0, len(cross))
 	totalRho := through.Rho
 	for i, f := range cross {
 		if err := f.EBB.Validate(); err != nil {
-			return BacklogResult{}, fmt.Errorf("core: cross flow %d: %w", i, err)
+			return BacklogResult{}, fmt.Errorf("%w: cross flow %d: %w", ErrBadConfig, i, err)
 		}
 		if math.IsInf(f.Delta, -1) {
 			continue
@@ -111,10 +111,10 @@ func BacklogBoundStatNode(c float64, through envelope.EBB, cross []StatFlow, eps
 // the service curve's.
 func OutputEBB(c float64, through, crossAgg envelope.EBB, gamma float64) (envelope.EBB, error) {
 	if c <= 0 {
-		return envelope.EBB{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+		return envelope.EBB{}, badConfig("link rate must be positive, got %g", c)
 	}
 	if gamma <= 0 {
-		return envelope.EBB{}, fmt.Errorf("core: gamma must be positive, got %g", gamma)
+		return envelope.EBB{}, badConfig("gamma must be positive, got %g", gamma)
 	}
 	left := c - crossAgg.Rho - gamma
 	if through.Rho+gamma > left {
@@ -150,7 +150,7 @@ func OutputEBB(c float64, through, crossAgg envelope.EBB, gamma float64) (envelo
 // target and the binding constraint is stability, not delay.
 func MaxCrossLoad(cfg PathConfig, eps, targetD float64) (PathConfig, Result, error) {
 	if targetD <= 0 {
-		return PathConfig{}, Result{}, fmt.Errorf("core: target delay must be positive, got %g", targetD)
+		return PathConfig{}, Result{}, badConfig("target delay must be positive, got %g", targetD)
 	}
 	if err := cfg.Validate(); err != nil {
 		return PathConfig{}, Result{}, err

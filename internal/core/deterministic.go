@@ -28,16 +28,16 @@ type DetResult struct {
 // Validate checks the configuration.
 func (cfg DetPathConfig) Validate() error {
 	if cfg.H < 1 {
-		return fmt.Errorf("core: path length H must be >= 1, got %d", cfg.H)
+		return badConfig("path length H must be >= 1, got %d", cfg.H)
 	}
 	if cfg.C <= 0 || math.IsNaN(cfg.C) {
-		return fmt.Errorf("core: capacity must be positive, got %g", cfg.C)
+		return badConfig("capacity must be positive, got %g", cfg.C)
 	}
 	if !cfg.Through.NonDecreasing() || !cfg.Cross.NonDecreasing() {
-		return fmt.Errorf("core: envelopes must be non-decreasing")
+		return badConfig("envelopes must be non-decreasing")
 	}
 	if math.IsNaN(cfg.Delta0c) {
-		return fmt.Errorf("core: Delta0c is NaN")
+		return badConfig("Delta0c is NaN")
 	}
 	return nil
 }
@@ -190,20 +190,20 @@ type DetNodeSpec struct {
 // upper bound.
 func DelayBoundDetHetero(through minplus.Curve, nodes []DetNodeSpec) (DetResult, error) {
 	if len(nodes) == 0 {
-		return DetResult{}, fmt.Errorf("core: deterministic hetero path needs at least one node")
+		return DetResult{}, badConfig("deterministic hetero path needs at least one node")
 	}
 	if !through.NonDecreasing() {
-		return DetResult{}, fmt.Errorf("core: through envelope must be non-decreasing")
+		return DetResult{}, badConfig("through envelope must be non-decreasing")
 	}
 	for i, n := range nodes {
 		if n.C <= 0 || math.IsNaN(n.C) {
-			return DetResult{}, fmt.Errorf("core: node %d capacity must be positive, got %g", i+1, n.C)
+			return DetResult{}, badConfig("node %d capacity must be positive, got %g", i+1, n.C)
 		}
 		if !n.Cross.NonDecreasing() {
-			return DetResult{}, fmt.Errorf("core: node %d cross envelope must be non-decreasing", i+1)
+			return DetResult{}, badConfig("node %d cross envelope must be non-decreasing", i+1)
 		}
 		if math.IsNaN(n.Delta) {
-			return DetResult{}, fmt.Errorf("core: node %d Delta is NaN", i+1)
+			return DetResult{}, badConfig("node %d Delta is NaN", i+1)
 		}
 		if through.TailSlope()+n.Cross.TailSlope() > n.C+1e-12 {
 			return DetResult{}, fmt.Errorf("%w: node %d rates %g+%g vs capacity %g",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,19 +43,19 @@ type Result struct {
 // Validate checks the configuration.
 func (cfg PathConfig) Validate() error {
 	if cfg.H < 1 {
-		return fmt.Errorf("core: path length H must be >= 1, got %d", cfg.H)
+		return badConfig("path length H must be >= 1, got %d", cfg.H)
 	}
 	if cfg.C <= 0 || math.IsNaN(cfg.C) {
-		return fmt.Errorf("core: capacity must be positive, got %g", cfg.C)
+		return badConfig("capacity must be positive, got %g", cfg.C)
 	}
 	if err := cfg.Through.Validate(); err != nil {
-		return fmt.Errorf("core: through traffic: %w", err)
+		return fmt.Errorf("%w: through traffic: %w", ErrBadConfig, err)
 	}
 	if err := cfg.Cross.Validate(); err != nil {
-		return fmt.Errorf("core: cross traffic: %w", err)
+		return fmt.Errorf("%w: cross traffic: %w", ErrBadConfig, err)
 	}
 	if math.IsNaN(cfg.Delta0c) {
-		return errors.New("core: Delta0c is NaN")
+		return badConfig("Delta0c is NaN")
 	}
 	return nil
 }
@@ -76,7 +77,7 @@ func DelayBound(cfg PathConfig, eps float64) (Result, error) {
 		return Result{}, err
 	}
 	if eps <= 0 || eps >= 1 {
-		return Result{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return Result{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	gmax := cfg.GammaMax()
 	if gmax <= 0 {
@@ -122,7 +123,7 @@ func DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
 		return Result{}, err
 	}
 	if gamma <= 0 || gamma >= cfg.GammaMax() {
-		return Result{}, fmt.Errorf("core: gamma %g outside (0, %g)", gamma, cfg.GammaMax())
+		return Result{}, badConfig("gamma %g outside (0, %g)", gamma, cfg.GammaMax())
 	}
 	bound, err := pathBound(cfg.H, cfg.Through, cfg.Cross, gamma, math.IsInf(cfg.Delta0c, -1))
 	if err != nil {
@@ -363,11 +364,21 @@ func PaperRecipe(h int, c, gamma, rhoc, delta, sigma float64) float64 {
 // followed by a golden-section refinement; it returns the best α found.
 func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alphaHi float64) (bestAlpha, bestVal float64, err error) {
 	if alphaLo <= 0 || alphaHi <= alphaLo {
-		return 0, 0, fmt.Errorf("core: need 0 < alphaLo < alphaHi, got [%g, %g]", alphaLo, alphaHi)
+		return 0, 0, badConfig("need 0 < alphaLo < alphaHi, got [%g, %g]", alphaLo, alphaHi)
 	}
+	// An eval error normally just marks α infeasible (+Inf objective), but
+	// a cancelled context is not an infeasibility statement — it must
+	// surface as itself, or an interrupt would masquerade as ErrUnstable.
+	var ctxErr error
 	f := func(a float64) float64 {
 		v, err := eval(a)
-		if err != nil || math.IsNaN(v) {
+		if err != nil {
+			if ctxErr == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				ctxErr = err
+			}
+			return math.Inf(1)
+		}
+		if math.IsNaN(v) {
 			return math.Inf(1)
 		}
 		return v
@@ -380,6 +391,9 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 		if d := f(a); d < bestD {
 			bestD, bestA = d, a
 		}
+		if ctxErr != nil {
+			return 0, 0, ctxErr
+		}
 	}
 	if math.IsInf(bestD, 1) {
 		return 0, 0, fmt.Errorf("%w: no feasible alpha in [%g, %g]", ErrUnstable, alphaLo, alphaHi)
@@ -388,7 +402,11 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 	refined := goldenMin(func(la float64) float64 { return f(math.Exp(la)) },
 		math.Log(bestA)-step, math.Log(bestA)+step, 36)
 	a := math.Exp(refined)
-	if v := f(a); v <= bestD {
+	v := f(a)
+	if ctxErr != nil {
+		return 0, 0, ctxErr
+	}
+	if v <= bestD {
 		return a, v, nil
 	}
 	return bestA, bestD, nil

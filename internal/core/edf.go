@@ -27,7 +27,7 @@ import (
 // It returns the converged result and the per-node deadline d*_0.
 func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error) {
 	if ratio <= 0 || math.IsNaN(ratio) {
-		return Result{}, 0, fmt.Errorf("core: deadline ratio must be positive, got %g", ratio)
+		return Result{}, 0, badConfig("deadline ratio must be positive, got %g", ratio)
 	}
 	bmuxCfg := cfg
 	bmuxCfg.Delta0c = math.Inf(1)
@@ -62,6 +62,10 @@ func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error)
 		if hi-lo <= 1e-9*hi {
 			break
 		}
+	}
+	if !(hi-lo <= 1e-6*hi) {
+		return Result{}, 0, fmt.Errorf("%w: EDF fixed point still bracketed by [%g, %g] after 100 bisections",
+			ErrNoConvergence, lo, hi)
 	}
 	d := hi
 

@@ -34,7 +34,7 @@ func LeftoverGeneral(c float64, j FlowID, envs map[FlowID]GeneralEnvelope, p Pol
 	var crossEps []func(float64) float64
 	for k, e := range envs {
 		if e.Eps == nil {
-			return minplus.Curve{}, nil, fmt.Errorf("core: flow %d has no bounding function", k)
+			return minplus.Curve{}, nil, badConfig("flow %d has no bounding function", k)
 		}
 		curves[k] = e.G
 		if k == j || math.IsInf(p.Delta(j, k), -1) {
@@ -117,7 +117,7 @@ func infConvolve(eps []func(float64) float64) func(float64) float64 {
 // budget is minimized over a grid to meet the target eps.
 func DelayBoundGeneral(c float64, j FlowID, envs map[FlowID]GeneralEnvelope, p Policy, eps float64) (float64, error) {
 	if eps <= 0 || eps >= 1 {
-		return 0, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return 0, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	env, ok := envs[j]
 	if !ok {

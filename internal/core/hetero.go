@@ -26,20 +26,20 @@ type HeteroPath struct {
 // Validate checks the path description.
 func (p HeteroPath) Validate() error {
 	if len(p.Nodes) == 0 {
-		return fmt.Errorf("core: hetero path needs at least one node")
+		return badConfig("hetero path needs at least one node")
 	}
 	if err := p.Through.Validate(); err != nil {
-		return fmt.Errorf("core: through traffic: %w", err)
+		return fmt.Errorf("%w: through traffic: %w", ErrBadConfig, err)
 	}
 	for i, n := range p.Nodes {
 		if n.C <= 0 || math.IsNaN(n.C) {
-			return fmt.Errorf("core: node %d capacity must be positive, got %g", i+1, n.C)
+			return badConfig("node %d capacity must be positive, got %g", i+1, n.C)
 		}
 		if err := n.Cross.Validate(); err != nil {
-			return fmt.Errorf("core: node %d cross traffic: %w", i+1, err)
+			return fmt.Errorf("%w: node %d cross traffic: %w", ErrBadConfig, i+1, err)
 		}
 		if math.IsNaN(n.Delta) {
-			return fmt.Errorf("core: node %d Delta is NaN", i+1)
+			return badConfig("node %d Delta is NaN", i+1)
 		}
 	}
 	return nil
@@ -68,7 +68,7 @@ func DelayBoundHetero(p HeteroPath, eps float64) (Result, error) {
 		return Result{}, err
 	}
 	if eps <= 0 || eps >= 1 {
-		return Result{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return Result{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	gmax := p.GammaMax()
 	if gmax <= 0 {
@@ -103,7 +103,7 @@ func DelayBoundHetero(p HeteroPath, eps float64) (Result, error) {
 func heteroAtGamma(p HeteroPath, eps, gamma float64) (Result, error) {
 	h := len(p.Nodes)
 	if gamma <= 0 || gamma >= p.GammaMax() {
-		return Result{}, fmt.Errorf("core: gamma %g outside (0, %g)", gamma, p.GammaMax())
+		return Result{}, badConfig("gamma %g outside (0, %g)", gamma, p.GammaMax())
 	}
 
 	// Bounding function: through sample-path envelope + per-node service

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -16,9 +15,6 @@ type StatEnvelope struct {
 	Bound envelope.ExpBound
 }
 
-// ErrUnknownFlow indicates a flow id without an envelope.
-var ErrUnknownFlow = errors.New("core: flow has no envelope")
-
 // LeftoverDet constructs the deterministic leftover service curve of
 // Theorem 1 (Eq. 19) for flow j at a Δ-scheduled link of rate c:
 //
@@ -30,10 +26,10 @@ var ErrUnknownFlow = errors.New("core: flow has no envelope")
 // guarantee.
 func LeftoverDet(c float64, j FlowID, envs map[FlowID]minplus.Curve, p Policy, theta float64) (minplus.Curve, error) {
 	if c <= 0 || math.IsNaN(c) {
-		return minplus.Curve{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+		return minplus.Curve{}, badConfig("link rate must be positive, got %g", c)
 	}
 	if theta < 0 || math.IsNaN(theta) {
-		return minplus.Curve{}, fmt.Errorf("core: theta must be >= 0, got %g", theta)
+		return minplus.Curve{}, badConfig("theta must be >= 0, got %g", theta)
 	}
 	if _, ok := envs[j]; !ok {
 		return minplus.Curve{}, fmt.Errorf("%w: %d", ErrUnknownFlow, j)
@@ -49,7 +45,11 @@ func LeftoverDet(c float64, j FlowID, envs map[FlowID]minplus.Curve, p Policy, t
 		}
 		// Argument t − θ + min(Δ,θ): a right-shift by θ − min(Δ,θ) >= 0.
 		shift := theta - DeltaClamped(d, theta)
-		sum = minplus.Add(sum, minplus.ShiftRight(ek, shift))
+		shifted, err := minplus.ShiftRight(ek, shift)
+		if err != nil {
+			return minplus.Curve{}, fmt.Errorf("core: shifting envelope of flow %d: %w", k, err)
+		}
+		sum = minplus.Add(sum, shifted)
 	}
 	s := minplus.SubPos(minplus.ConstantRate(c), sum)
 	return minplus.ZeroUntil(s, theta), nil

@@ -14,7 +14,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -113,7 +112,7 @@ func (e EDF) Delta(j, k FlowID) float64 {
 func ValidatePolicy(p Policy, flows []FlowID) error {
 	for _, j := range flows {
 		if d := p.Delta(j, j); d != 0 {
-			return fmt.Errorf("core: policy %s is not locally FIFO: Delta(%d,%d) = %g", p.Name(), j, j, d)
+			return badConfig("policy %s is not locally FIFO: Delta(%d,%d) = %g", p.Name(), j, j, d)
 		}
 	}
 	return nil

@@ -1,16 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"deltasched/internal/minplus"
 )
-
-// ErrUnstable indicates that no finite delay bound exists because the
-// long-term load reaches or exceeds the link capacity.
-var ErrUnstable = errors.New("core: no finite delay bound (load >= capacity)")
 
 // SchedulableDet evaluates the paper's deterministic schedulability
 // condition (Eq. 24) for flow j and target delay d:
@@ -22,7 +17,7 @@ var ErrUnstable = errors.New("core: no finite delay bound (load >= capacity)")
 // flows whose traffic can precede flow j, including j itself (Δ_{j,j}=0).
 func SchedulableDet(c float64, j FlowID, envs map[FlowID]minplus.Curve, p Policy, d float64) (bool, error) {
 	if d < 0 || math.IsNaN(d) {
-		return false, fmt.Errorf("core: delay target must be >= 0, got %g", d)
+		return false, badConfig("delay target must be >= 0, got %g", d)
 	}
 	sum, err := precedenceSum(j, envs, p, d)
 	if err != nil {
@@ -44,11 +39,17 @@ func precedenceSum(j FlowID, envs map[FlowID]minplus.Curve, p Policy, d float64)
 			continue
 		}
 		x := DeltaClamped(delta, d)
-		var shifted minplus.Curve
+		var (
+			shifted minplus.Curve
+			err     error
+		)
 		if x >= 0 {
-			shifted = minplus.ShiftLeft(ek, x)
+			shifted, err = minplus.ShiftLeft(ek, x)
 		} else {
-			shifted = minplus.ShiftRight(ek, -x)
+			shifted, err = minplus.ShiftRight(ek, -x)
+		}
+		if err != nil {
+			return minplus.Curve{}, fmt.Errorf("core: shifting envelope of flow %d: %w", k, err)
 		}
 		sum = minplus.Add(sum, shifted)
 	}
@@ -62,7 +63,7 @@ func precedenceSum(j FlowID, envs map[FlowID]minplus.Curve, p Policy, d float64)
 // precede j is not below c.
 func DelayBoundDet(c float64, j FlowID, envs map[FlowID]minplus.Curve, p Policy) (float64, error) {
 	if c <= 0 || math.IsNaN(c) {
-		return 0, fmt.Errorf("core: link rate must be positive, got %g", c)
+		return 0, badConfig("link rate must be positive, got %g", c)
 	}
 	// Stability: the tail rates of all potentially-preceding flows must
 	// stay below the link rate.

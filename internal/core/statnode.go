@@ -43,23 +43,23 @@ type NodeResult struct {
 // slack γ is optimized numerically as in Section IV.
 func DelayBoundStatNode(c float64, through envelope.EBB, cross []StatFlow, eps float64) (NodeResult, error) {
 	if c <= 0 || math.IsNaN(c) {
-		return NodeResult{}, fmt.Errorf("core: link rate must be positive, got %g", c)
+		return NodeResult{}, badConfig("link rate must be positive, got %g", c)
 	}
 	if eps <= 0 || eps >= 1 {
-		return NodeResult{}, fmt.Errorf("core: violation probability must be in (0,1), got %g", eps)
+		return NodeResult{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
 	if err := through.Validate(); err != nil {
-		return NodeResult{}, fmt.Errorf("core: tagged flow: %w", err)
+		return NodeResult{}, fmt.Errorf("%w: tagged flow: %w", ErrBadConfig, err)
 	}
 	// Flows with Δ = −∞ never precede the tagged flow and drop out of N_j.
 	active := make([]StatFlow, 0, len(cross))
 	totalRho := through.Rho
 	for i, f := range cross {
 		if err := f.EBB.Validate(); err != nil {
-			return NodeResult{}, fmt.Errorf("core: cross flow %d: %w", i, err)
+			return NodeResult{}, fmt.Errorf("%w: cross flow %d: %w", ErrBadConfig, i, err)
 		}
 		if math.IsNaN(f.Delta) {
-			return NodeResult{}, fmt.Errorf("core: cross flow %d: Delta is NaN", i)
+			return NodeResult{}, badConfig("cross flow %d: Delta is NaN", i)
 		}
 		if math.IsInf(f.Delta, -1) {
 			continue

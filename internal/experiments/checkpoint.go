@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Checkpoint persists completed sweep points so an interrupted campaign
+// can resume without recomputing them. Points are keyed by deterministic
+// IDs (example, scheduler, grid coordinates) and values are stored as
+// exact decimal float64 encodings (strconv 'g'/-1), so a resumed sweep
+// reproduces the uninterrupted output bit for bit — including NaN points
+// that mark infeasible configurations, which raw JSON numbers cannot
+// carry.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Checkpoint
+// looks up nothing and records nothing, so sweeps thread one through
+// unconditionally. Record flushes to disk at most every flushEvery, via
+// an atomic temp-file rename; call Flush before exiting to persist the
+// tail.
+type Checkpoint struct {
+	mu       sync.Mutex
+	path     string
+	points   map[string]string
+	dirty    bool
+	lastSave time.Time
+	saveErr  error // first flush failure, surfaced by Flush
+}
+
+// checkpointFile is the JSON schema of a checkpoint on disk.
+type checkpointFile struct {
+	Version int               `json:"version"`
+	Points  map[string]string `json:"points"`
+}
+
+const (
+	checkpointVersion = 1
+	flushEvery        = 200 * time.Millisecond
+)
+
+// NewCheckpoint starts an empty checkpoint that will persist to path.
+// Any existing file at path is ignored and overwritten on the first
+// flush (use LoadCheckpoint to resume from it instead).
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, points: make(map[string]string)}
+}
+
+// LoadCheckpoint opens the checkpoint at path for resuming: completed
+// points recorded there are served from cache. A missing file yields an
+// empty checkpoint (resuming a run that never started is a fresh run); a
+// malformed one is an error rather than silent recomputation.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c := NewCheckpoint(path)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("experiments: parsing checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	for id, v := range f.Points {
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint %s: point %q has bad value %q", path, id, v)
+		}
+	}
+	if f.Points != nil {
+		c.points = f.Points
+	}
+	return c, nil
+}
+
+// Lookup returns the recorded value of a point, if present.
+func (c *Checkpoint) Lookup(id string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.points[id]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false // validated at load; unreachable for loaded files
+	}
+	return v, true
+}
+
+// Record stores a completed point and flushes to disk if the last flush
+// is older than flushEvery. Flush errors are remembered and surfaced by
+// the next Flush call rather than interrupting the sweep.
+func (c *Checkpoint) Record(id string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.points[id] = strconv.FormatFloat(v, 'g', -1, 64)
+	c.dirty = true
+	if time.Since(c.lastSave) >= flushEvery {
+		c.saveLocked()
+	}
+}
+
+// Len returns the number of recorded points.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points)
+}
+
+// Flush writes any unsaved points to disk and returns the first write
+// error since the previous Flush. Nil-safe.
+func (c *Checkpoint) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty {
+		c.saveLocked()
+	}
+	err := c.saveErr
+	c.saveErr = nil
+	return err
+}
+
+// saveLocked writes the checkpoint atomically (temp file + rename); the
+// caller holds c.mu.
+func (c *Checkpoint) saveLocked() {
+	c.lastSave = time.Now()
+	data, err := json.MarshalIndent(checkpointFile{Version: checkpointVersion, Points: c.points}, "", "  ")
+	if err != nil {
+		c.keepErr(fmt.Errorf("experiments: marshaling checkpoint: %w", err))
+		return
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		c.keepErr(fmt.Errorf("experiments: writing checkpoint: %w", err))
+		return
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		c.keepErr(fmt.Errorf("experiments: replacing checkpoint: %w", err))
+		return
+	}
+	c.dirty = false
+}
+
+func (c *Checkpoint) keepErr(err error) {
+	if c.saveErr == nil {
+		c.saveErr = err
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "check.json")
+	c := NewCheckpoint(path)
+	values := map[string]float64{
+		"ex1/fifo/h=2/x=0.2":     123.456789012345,
+		"ex1/bmux/h=5/x=0.35":    1e-300,
+		"ex2/edfhalf/h=10/x=0.5": math.NaN(),
+		"ex3/bmuxadd/h=30/x=0.9": math.Inf(1),
+	}
+	for id, v := range values {
+		c.Record(id, v)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(values) {
+		t.Fatalf("loaded %d points, want %d", r.Len(), len(values))
+	}
+	for id, want := range values {
+		got, ok := r.Lookup(id)
+		if !ok {
+			t.Fatalf("point %q missing after reload", id)
+		}
+		// Bit-exact round trip, including NaN (hence the bits comparison).
+		if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("point %q = %g after reload, want %g exactly", id, got, want)
+		}
+	}
+	if _, ok := r.Lookup("ex1/fifo/h=2/x=0.25"); ok {
+		t.Fatal("Lookup invented a point")
+	}
+}
+
+func TestCheckpointMissingFileIsEmpty(t *testing.T) {
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing checkpoint should load empty, got %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("missing checkpoint has %d points", c.Len())
+	}
+}
+
+func TestCheckpointRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage.json": "{not json",
+		"version.json": `{"version": 99, "points": {}}`,
+		"value.json":   `{"version": 1, "points": {"p": "not-a-float"}}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(path); err == nil {
+			t.Fatalf("%s: corrupt checkpoint loaded without error", name)
+		}
+	}
+}
+
+func TestCheckpointNilIsInert(t *testing.T) {
+	var c *Checkpoint
+	c.Record("x", 1)
+	if _, ok := c.Lookup("x"); ok {
+		t.Fatal("nil checkpoint returned a point")
+	}
+	if c.Len() != 0 || c.Flush() != nil {
+		t.Fatal("nil checkpoint is not inert")
+	}
+}
+
+func TestCheckpointSurfacesWriteErrors(t *testing.T) {
+	c := NewCheckpoint(filepath.Join(t.TempDir(), "no-such-dir", "check.json"))
+	c.Record("p", 1)
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush into a missing directory reported no error")
+	} else if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("unhelpful flush error: %v", err)
+	}
+}

@@ -7,8 +7,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"deltasched/internal/core"
@@ -30,6 +33,28 @@ type Setup struct {
 	// arrive from worker goroutines but are serialized and monotonic, so
 	// the callback can print directly (e.g. obs.Progress.Observe).
 	OnProgress func(done, total int)
+
+	// Ctx, when non-nil, cancels the sweeps: the Example functions stop
+	// starting points once it is done, the bound optimizers abandon their
+	// α sweeps, and the ctx error is returned. Nil means run to
+	// completion.
+	Ctx context.Context
+
+	// Check, when non-nil, makes the sweeps resumable: each completed
+	// point is recorded under a deterministic ID, and already-recorded
+	// points are served from the checkpoint instead of being recomputed.
+	// Values pass through the checkpoint exactly (including the NaN that
+	// marks an infeasible point), so a resumed sweep emits byte-identical
+	// output. Nil disables checkpointing.
+	Check *Checkpoint
+}
+
+// ctx returns the sweep context, defaulting to Background.
+func (s Setup) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // PaperSetup returns the configuration used throughout Section V.
@@ -87,6 +112,37 @@ func (s Scheduler) String() string {
 	}
 }
 
+// key is the scheduler's stable checkpoint identifier. Unlike String it
+// must never change: checkpoint files written by one build must resume
+// under the next.
+func (s Scheduler) key() string {
+	switch s {
+	case BMUX:
+		return "bmux"
+	case FIFO:
+		return "fifo"
+	case EDFRatio10:
+		return "edf10"
+	case EDFThroughHalf:
+		return "edfhalf"
+	case EDFThroughDouble:
+		return "edfdouble"
+	case BMUXAdditive:
+		return "bmuxadd"
+	default:
+		return fmt.Sprintf("sched%d", int(s))
+	}
+}
+
+// pointID names one sweep point deterministically: example, scheduler,
+// path length, and the sweep coordinate in exact decimal form. These IDs
+// key the resume checkpoint, so their format is part of the on-disk
+// contract.
+func pointID(example string, sched Scheduler, h int, x float64) string {
+	return example + "/" + sched.key() + "/h=" + strconv.Itoa(h) +
+		"/x=" + strconv.FormatFloat(x, 'g', -1, 64)
+}
+
 func (s Scheduler) deadlineRatio() (ratio float64, isEDF bool) {
 	switch s {
 	case EDFRatio10:
@@ -120,6 +176,28 @@ func (s Setup) progressCounter(total int) func(done, batchTotal int) {
 	}
 }
 
+// sweepPoint computes (or restores) one sweep point. The checkpoint is
+// consulted first; a freshly computed point is recorded before returning.
+// An infeasible configuration (core.ErrInfeasible) is a legitimate data
+// point — the figure shows a gap there — and becomes NaN; every other
+// error aborts the sweep so bugs and interrupts are not silently plotted
+// as gaps.
+func (s Setup) sweepPoint(id string, compute func() (float64, error)) (float64, error) {
+	if v, ok := s.Check.Lookup(id); ok {
+		return v, nil
+	}
+	d, err := compute()
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrInfeasible):
+		d = math.NaN()
+	default:
+		return 0, err
+	}
+	s.Check.Record(id, d)
+	return d, nil
+}
+
 // TrafficModel abstracts a source whose aggregates have an EBB description
 // at every decay parameter: both the paper's two-state MMOO and the
 // general MarkovSource satisfy it, so every sweep in this package runs on
@@ -145,6 +223,9 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 		return 0, fmt.Errorf("experiments: nil traffic model")
 	}
 	build := func(alpha float64) (core.PathConfig, error) {
+		if err := s.ctx().Err(); err != nil {
+			return core.PathConfig{}, err
+		}
 		through, err := model.EBBAggregate(n0, alpha)
 		if err != nil {
 			return core.PathConfig{}, err
@@ -228,13 +309,11 @@ func (s Setup) Example1(hs []int, utils []float64) ([]plot.Series, error) {
 	for _, h := range hs {
 		for _, sched := range scheds {
 			h, sched := h, sched
-			ys, err := ParMapProgress(0, xs, func(u float64) (float64, error) {
-				d, err := s.Bound(sched, h, n0, s.FlowCount(u)-n0)
-				if err != nil {
-					return math.NaN(), nil // infeasible at this load
-				}
-				return d, nil
-			}, prog)
+			ys, _, err := ParMapCtx(s.ctx(), 0, xs, func(_ context.Context, u float64) (float64, error) {
+				return s.sweepPoint(pointID("ex1", sched, h, u), func() (float64, error) {
+					return s.Bound(sched, h, n0, s.FlowCount(u)-n0)
+				})
+			}, RunOptions{OnDone: prog})
 			if err != nil {
 				return nil, err
 			}
@@ -269,14 +348,12 @@ func (s Setup) Example2(hs []int, mixes []float64) ([]plot.Series, error) {
 	for _, h := range hs {
 		for _, sched := range scheds {
 			h, sched := h, sched
-			ys, err := ParMapProgress(0, mixes, func(mix float64) (float64, error) {
-				nc := total * mix
-				d, err := s.Bound(sched, h, total-nc, nc)
-				if err != nil {
-					return math.NaN(), nil
-				}
-				return d, nil
-			}, prog)
+			ys, _, err := ParMapCtx(s.ctx(), 0, mixes, func(_ context.Context, mix float64) (float64, error) {
+				return s.sweepPoint(pointID("ex2", sched, h, mix), func() (float64, error) {
+					nc := total * mix
+					return s.Bound(sched, h, total-nc, nc)
+				})
+			}, RunOptions{OnDone: prog})
 			if err != nil {
 				return nil, err
 			}
@@ -299,14 +376,12 @@ func (s Setup) Example3(hs []int, utils []float64) ([]plot.Series, error) {
 	for _, u := range utils {
 		n := s.FlowCount(u) / 2 // N0 = Nc
 		for _, sched := range scheds {
-			sched := sched
-			ys, err := ParMapProgress(0, hs, func(h int) (float64, error) {
-				d, err := s.Bound(sched, h, n, n)
-				if err != nil {
-					return math.NaN(), nil
-				}
-				return d, nil
-			}, prog)
+			u, sched := u, sched
+			ys, _, err := ParMapCtx(s.ctx(), 0, hs, func(_ context.Context, h int) (float64, error) {
+				return s.sweepPoint(pointID("ex3", sched, h, u), func() (float64, error) {
+					return s.Bound(sched, h, n, n)
+				})
+			}, RunOptions{OnDone: prog})
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 )
 
 // ParMap applies fn to every input with at most `workers` concurrent
@@ -12,7 +10,8 @@ import (
 // are skipped, all started work is awaited, and the error is returned.
 // The figure sweeps are embarrassingly parallel — each point is an
 // independent bound computation — so this is the only concurrency the
-// experiment harness needs.
+// experiment harness needs. ParMapCtx is the context-aware,
+// panic-isolating generalization.
 func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
 	return ParMapProgress(workers, in, fn, nil)
 }
@@ -24,85 +23,13 @@ func ParMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
 // onDone makes this exactly ParMap.
 func ParMapProgress[T, R any](workers int, in []T, fn func(T) (R, error), onDone func(done, total int)) ([]R, error) {
 	if fn == nil {
-		return nil, fmt.Errorf("experiments: ParMap needs a function")
+		return nil, badBatch("ParMap needs a function")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(in) {
-		workers = len(in)
-	}
-	out := make([]R, len(in))
-	if len(in) == 0 {
-		return out, nil
-	}
-	if workers <= 1 {
-		for i, x := range in {
-			r, err := fn(x)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: input %d: %w", i, err)
-			}
-			out[i] = r
-			if onDone != nil {
-				onDone(i+1, len(in))
-			}
-		}
-		return out, nil
-	}
-
-	type job struct{ idx int }
-	var (
-		jobs    = make(chan job)
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstMu sync.Once
-		first   error
-		aborted bool
-		done    int
-	)
-	setErr := func(err error) {
-		firstMu.Do(func() {
-			mu.Lock()
-			first = err
-			aborted = true
-			mu.Unlock()
-		})
-	}
-	stop := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return aborted
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if stop() {
-					continue // drain without working
-				}
-				r, err := fn(in[j.idx])
-				if err != nil {
-					setErr(fmt.Errorf("experiments: input %d: %w", j.idx, err))
-					continue
-				}
-				out[j.idx] = r
-				if onDone != nil {
-					mu.Lock()
-					done++
-					onDone(done, len(in))
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range in {
-		jobs <- job{idx: i}
-	}
-	close(jobs)
-	wg.Wait()
-	if first != nil {
-		return nil, first
+	out, _, err := ParMapCtx(context.Background(), workers, in,
+		func(_ context.Context, x T) (R, error) { return fn(x) },
+		RunOptions{Policy: FailFast, OnDone: onDone})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

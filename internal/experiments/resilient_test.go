@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParMapCtxCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	in := make([]int, 64)
+	for i := range in {
+		in[i] = i
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ParMapCtx(ctx, 4, in, func(ctx context.Context, x int) (int, error) {
+			if started.Add(1) == 4 {
+				close(release) // all workers busy: now cancel
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return x, nil
+			}
+		}, RunOptions{})
+		done <- err
+	}()
+
+	<-release
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled batch did not return promptly")
+	}
+	if n := started.Load(); n > 8 {
+		t.Fatalf("%d items started after cancellation of a 4-worker batch", n)
+	}
+}
+
+func TestParMapCtxPanicBecomesItemError(t *testing.T) {
+	in := []int{0, 1, 2, 3}
+	_, _, err := ParMapCtx(context.Background(), 2, in, func(_ context.Context, x int) (int, error) {
+		if x == 2 {
+			panic(fmt.Sprintf("boom at %d", x))
+		}
+		return x, nil
+	}, RunOptions{Policy: FailFast})
+	if err == nil {
+		t.Fatal("panicking item did not fail the batch")
+	}
+	var ie *ItemError
+	if !errors.As(err, &ie) {
+		t.Fatalf("batch error %T is not an *ItemError", err)
+	}
+	if ie.Index != 2 {
+		t.Fatalf("ItemError.Index = %d, want 2", ie.Index)
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("panic ItemError does not wrap ErrPanic: %v", err)
+	}
+	if ie.Recovered != "boom at 2" {
+		t.Fatalf("Recovered = %v, want the panic value", ie.Recovered)
+	}
+	if !strings.Contains(string(ie.Stack), "resilient_test") {
+		t.Fatalf("stack does not point at the panic site:\n%s", ie.Stack)
+	}
+}
+
+func TestParMapCtxKeepGoing(t *testing.T) {
+	in := []int{0, 1, 2, 3, 4, 5}
+	out, fails, err := ParMapCtx(context.Background(), 3, in, func(_ context.Context, x int) (int, error) {
+		switch x {
+		case 1:
+			return 0, fmt.Errorf("bad point")
+		case 4:
+			panic("worse point")
+		}
+		return 10 * x, nil
+	}, RunOptions{Policy: KeepGoing})
+	if err != nil {
+		t.Fatalf("KeepGoing batch error = %v, want nil", err)
+	}
+	if len(fails) != 2 || fails[0].Index != 1 || fails[1].Index != 4 {
+		t.Fatalf("fails = %v, want indices [1 4] in order", fails)
+	}
+	for _, i := range []int{0, 2, 3, 5} {
+		if out[i] != 10*i {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], 10*i)
+		}
+	}
+	for _, i := range []int{1, 4} {
+		if out[i] != 0 {
+			t.Fatalf("failed slot out[%d] = %d, want zero value", i, out[i])
+		}
+	}
+}
+
+func TestParMapCtxSequentialPanicRecovery(t *testing.T) {
+	_, fails, err := ParMapCtx(context.Background(), 1, []int{0, 1, 2}, func(_ context.Context, x int) (int, error) {
+		if x == 1 {
+			panic("sequential boom")
+		}
+		return x, nil
+	}, RunOptions{Policy: KeepGoing})
+	if err != nil {
+		t.Fatalf("unexpected batch error: %v", err)
+	}
+	if len(fails) != 1 || !errors.Is(fails[0], ErrPanic) {
+		t.Fatalf("fails = %v, want one ErrPanic at index 1", fails)
+	}
+}
+
+func TestParMapCtxItemTimeout(t *testing.T) {
+	start := time.Now()
+	out, fails, err := ParMapCtx(context.Background(), 2, []int{0, 1, 2}, func(ctx context.Context, x int) (int, error) {
+		if x == 1 { // ignores its context: must be cut off by the deadline
+			select {
+			case <-time.After(5 * time.Second):
+			case <-ctx.Done():
+				<-time.After(5 * time.Second)
+			}
+		}
+		return x, nil
+	}, RunOptions{Policy: KeepGoing, ItemTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("batch error = %v, want nil under KeepGoing", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stuck item held the batch for %v", elapsed)
+	}
+	if len(fails) != 1 || fails[0].Index != 1 || !errors.Is(fails[0], context.DeadlineExceeded) {
+		t.Fatalf("fails = %v, want index 1 wrapping DeadlineExceeded", fails)
+	}
+	if out[0] != 0 || out[2] != 2 {
+		t.Fatalf("healthy items lost: out = %v", out)
+	}
+}
+
+func TestParMapCtxNilContextAndEmptyInput(t *testing.T) {
+	out, fails, err := ParMapCtx[int, int](nil, 4, nil, func(_ context.Context, x int) (int, error) {
+		return x, nil
+	}, RunOptions{})
+	if err != nil || len(out) != 0 || len(fails) != 0 {
+		t.Fatalf("empty batch: out=%v fails=%v err=%v", out, fails, err)
+	}
+}
+
+func TestItemErrorMessageFormat(t *testing.T) {
+	ie := &ItemError{Index: 7, Err: fmt.Errorf("kaput")}
+	if got := ie.Error(); got != "experiments: input 7: kaput" {
+		t.Fatalf("Error() = %q", got)
+	}
+	if !errors.Is(ie, ie.Err) {
+		t.Fatal("ItemError does not unwrap to its inner error")
+	}
+}

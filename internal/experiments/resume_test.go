@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"deltasched/internal/plot"
+)
+
+// csvBytes renders series exactly as the CLIs do, so equality here means
+// the shipped artifact is identical.
+func csvBytes(t *testing.T, series []plot.Series) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := plot.CSV(&buf, series...); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeProducesIdenticalOutput interrupts a checkpointed sweep
+// partway, resumes it from the checkpoint file, and requires the resumed
+// CSV to be byte-identical to an uninterrupted run's.
+func TestResumeProducesIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	hs := []int{2}
+	utils := []float64{0.3, 0.5, 0.7, 0.9}
+
+	clean := PaperSetup()
+	want, err := clean.Example1(hs, utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := csvBytes(t, want)
+
+	// First attempt: cancel after a few completed points.
+	path := filepath.Join(t.TempDir(), "check.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	first := PaperSetup()
+	first.Ctx = ctx
+	first.Check = NewCheckpoint(path)
+	first.OnProgress = func(done, total int) {
+		if done >= 3 {
+			cancel()
+		}
+	}
+	if _, err := first.Example1(hs, utils); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	if err := first.Check.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	interrupted := first.Check.Len()
+	if interrupted == 0 {
+		t.Fatal("no points were checkpointed before the interrupt")
+	}
+	if interrupted >= len(utils)*3 {
+		t.Fatalf("all %d points completed; the interrupt came too late to test resuming", interrupted)
+	}
+
+	// Resume: completed points must come from the checkpoint, the rest is
+	// computed, and the final output must not betray the interruption.
+	check, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := PaperSetup()
+	resumed.Check = check
+	got, err := resumed.Example1(hs, utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV := csvBytes(t, got); !bytes.Equal(gotCSV, wantCSV) {
+		t.Fatalf("resumed CSV differs from the uninterrupted run\nresumed:\n%s\nclean:\n%s", gotCSV, wantCSV)
+	}
+}
+
+// TestCheckpointServesRecordedPoints plants a poisoned checkpoint value
+// and verifies the sweep returns it instead of recomputing — proof that
+// resuming actually skips completed work.
+func TestCheckpointServesRecordedPoints(t *testing.T) {
+	s := PaperSetup()
+	s.Check = NewCheckpoint(filepath.Join(t.TempDir(), "c.json"))
+	const sentinel = 424242.0
+	for _, u := range []float64{0.3, 0.5} {
+		for _, sched := range []Scheduler{BMUX, FIFO, EDFRatio10} {
+			s.Check.Record(pointID("ex1", sched, 2, u), sentinel)
+		}
+	}
+	series, err := s.Example1([]int{2}, []float64{0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ser := range series {
+		for i, y := range ser.Y {
+			if y != sentinel {
+				t.Fatalf("%s point %d = %g, want the checkpointed sentinel", ser.Label, i, y)
+			}
+		}
+	}
+}

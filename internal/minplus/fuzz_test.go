@@ -38,7 +38,10 @@ func FuzzCurveOps(f *testing.F) {
 			}
 		}
 
-		sh := ShiftRight(env, shift)
+		sh, err := ShiftRight(env, shift)
+		if err != nil {
+			t.Fatalf("ShiftRight(%g): %v", shift, err)
+		}
 		if v := sh.Eval(shift / 2); shift > 0 && v != 0 {
 			t.Fatalf("shifted curve nonzero before the shift: %g", v)
 		}

@@ -12,6 +12,12 @@ import (
 // service curve).
 var ErrDiverges = errors.New("minplus: result diverges")
 
+// ErrBadArgument indicates an out-of-range scalar argument (negative or
+// non-finite scale factors and shift distances). Callers hit it with
+// invalid inputs at the package boundary; invariant violations inside the
+// package remain panics tagged "minplus: internal".
+var ErrBadArgument = errors.New("minplus: argument out of range")
+
 // Add returns the pointwise sum f+g.
 func Add(f, g Curve) Curve {
 	return combine(f, g, func(a, b float64) float64 { return a + b }, false)
@@ -44,10 +50,11 @@ func Max(f, g Curve) Curve {
 	return combine(f, g, math.Max, true)
 }
 
-// ScaleV returns k·f for k >= 0.
-func ScaleV(f Curve, k float64) Curve {
+// ScaleV returns k·f for finite k >= 0; other factors are rejected with
+// ErrBadArgument.
+func ScaleV(f Curve, k float64) (Curve, error) {
 	if k < 0 || !isFinite(k) {
-		panic(fmt.Sprintf("minplus: ScaleV factor %g out of range", k))
+		return Curve{}, fmt.Errorf("%w: ScaleV factor %g", ErrBadArgument, k)
 	}
 	segs := f.Segments()
 	for i := range segs {
@@ -58,17 +65,18 @@ func ScaleV(f Curve, k float64) Curve {
 	if err != nil {
 		panic("minplus: internal: " + err.Error())
 	}
-	return c
+	return c, nil
 }
 
-// ShiftRight returns f(·−d) for d >= 0, i.e. the min-plus convolution
-// f ∗ δ_d. The shifted curve is 0 on [0, d).
-func ShiftRight(f Curve, d float64) Curve {
+// ShiftRight returns f(·−d) for finite d >= 0, i.e. the min-plus
+// convolution f ∗ δ_d; other distances are rejected with ErrBadArgument.
+// The shifted curve is 0 on [0, d).
+func ShiftRight(f Curve, d float64) (Curve, error) {
 	if d < 0 || !isFinite(d) {
-		panic(fmt.Sprintf("minplus: ShiftRight distance %g out of range", d))
+		return Curve{}, fmt.Errorf("%w: ShiftRight distance %g", ErrBadArgument, d)
 	}
 	if d == 0 {
-		return f
+		return f, nil
 	}
 	segs := make([]Segment, 0, len(f.segs)+1)
 	segs = append(segs, Segment{}) // 0 on [0, d)
@@ -79,25 +87,26 @@ func ShiftRight(f Curve, d float64) Curve {
 	if err != nil {
 		panic("minplus: internal: " + err.Error())
 	}
-	return c
+	return c, nil
 }
 
-// ShiftLeft returns f(·+d) restricted to [0, ∞), for d >= 0. It is used to
-// evaluate envelopes at advanced arguments, e.g. E_k(t + Δ_{j,k}) in the
-// paper's schedulability condition (Eq. 24).
-func ShiftLeft(f Curve, d float64) Curve {
+// ShiftLeft returns f(·+d) restricted to [0, ∞), for finite d >= 0; other
+// distances are rejected with ErrBadArgument. It is used to evaluate
+// envelopes at advanced arguments, e.g. E_k(t + Δ_{j,k}) in the paper's
+// schedulability condition (Eq. 24).
+func ShiftLeft(f Curve, d float64) (Curve, error) {
 	if d < 0 || !isFinite(d) {
-		panic(fmt.Sprintf("minplus: ShiftLeft distance %g out of range", d))
+		return Curve{}, fmt.Errorf("%w: ShiftLeft distance %g", ErrBadArgument, d)
 	}
 	if d == 0 {
-		return f
+		return f, nil
 	}
 	if d >= f.infFrom {
 		c, err := FromSegments(0, Segment{})
 		if err != nil {
 			panic("minplus: internal: " + err.Error())
 		}
-		return c
+		return c, nil
 	}
 	segs := []Segment{{V0: f.Eval(d), Slope: slopeAt(f, d)}}
 	for _, s := range f.segs {
@@ -110,7 +119,7 @@ func ShiftLeft(f Curve, d float64) Curve {
 	if err != nil {
 		panic("minplus: internal: " + err.Error())
 	}
-	return c
+	return c, nil
 }
 
 // ZeroUntil returns the curve f(t)·1{t > θ}: identically 0 on [0, θ] and

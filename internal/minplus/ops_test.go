@@ -84,17 +84,46 @@ func TestSubPosInfinityRules(t *testing.T) {
 
 func TestScaleVAndShiftRight(t *testing.T) {
 	f := Affine(2, 5)
-	almost(t, ScaleV(f, 3).Eval(2), 27, 1e-9, "ScaleV")
-	almost(t, ScaleV(f, 0).Eval(2), 0, 1e-9, "ScaleV zero")
+	almost(t, mustCurve(ScaleV(f, 3)).Eval(2), 27, 1e-9, "ScaleV")
+	almost(t, mustCurve(ScaleV(f, 0)).Eval(2), 0, 1e-9, "ScaleV zero")
 
-	s := ShiftRight(f, 4)
+	s := mustCurve(ShiftRight(f, 4))
 	almost(t, s.Eval(2), 0, 0, "shift: zero before d")
 	almost(t, s.Eval(4), 5, 1e-9, "shift: original value at d")
 	almost(t, s.Eval(6), 9, 1e-9, "shift: translated")
-	if got := ShiftRight(f, 0); !AlmostEqual(got, f, 1e-12, 10) {
+	if got := mustCurve(ShiftRight(f, 0)); !AlmostEqual(got, f, 1e-12, 10) {
 		t.Error("ShiftRight by 0 should be identity")
 	}
 }
+
+// mustCurve unwraps a (Curve, error) pair inside test expressions; the
+// operations under test only fail on invalid arguments, so a failure here
+// is a test bug worth a panic.
+func mustCurve(c Curve, err error) Curve {
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestScaleShiftRejectBadArguments(t *testing.T) {
+	f := Affine(2, 5)
+	for name, err := range map[string]error{
+		"ScaleV -1":      second(ScaleV(f, -1)),
+		"ScaleV NaN":     second(ScaleV(f, math.NaN())),
+		"ScaleV +Inf":    second(ScaleV(f, math.Inf(1))),
+		"ShiftRight -1":  second(ShiftRight(f, -1)),
+		"ShiftRight NaN": second(ShiftRight(f, math.NaN())),
+		"ShiftLeft -1":   second(ShiftLeft(f, -1)),
+		"ShiftLeft +Inf": second(ShiftLeft(f, math.Inf(1))),
+	} {
+		if !errors.Is(err, ErrBadArgument) {
+			t.Errorf("%s: want ErrBadArgument, got %v", name, err)
+		}
+	}
+}
+
+func second(_ Curve, err error) error { return err }
 
 func TestZeroUntil(t *testing.T) {
 	f := ConstantRate(3)
@@ -292,29 +321,29 @@ func mustPoints(t *testing.T, tail float64, pts ...[2]float64) Curve {
 
 func TestShiftLeft(t *testing.T) {
 	f := RateLatency(4, 3)
-	s := ShiftLeft(f, 2)
+	s := mustCurve(ShiftLeft(f, 2))
 	almost(t, s.Eval(0), 0, 0, "f(2) = 0")
 	almost(t, s.Eval(1), 0, 0, "f(3) = 0")
 	almost(t, s.Eval(2), 4, 1e-9, "f(4) = 4")
 	almost(t, s.Eval(5), 16, 1e-9, "f(7) = 16")
 
-	if got := ShiftLeft(f, 0); !AlmostEqual(got, f, 1e-12, 10) {
+	if got := mustCurve(ShiftLeft(f, 0)); !AlmostEqual(got, f, 1e-12, 10) {
 		t.Error("ShiftLeft by 0 should be identity")
 	}
 
 	// Shifting past the +∞ boundary yields an immediately-infinite curve.
 	d := Delay(3)
-	sd := ShiftLeft(d, 5)
+	sd := mustCurve(ShiftLeft(d, 5))
 	almost(t, sd.Eval(0), math.Inf(1), 0, "past the boundary")
 
-	sd2 := ShiftLeft(d, 1)
+	sd2 := mustCurve(ShiftLeft(d, 1))
 	almost(t, sd2.Eval(1), 0, 0, "δ_3 shifted left by 1 is δ_2 (finite part)")
 	almost(t, sd2.Eval(2), math.Inf(1), 0, "δ_3 shifted left by 1 blows up at 2")
 
 	// Round trip: ShiftRight then ShiftLeft is identity for curves with
 	// f(0)=0 whose first segment is flat.
 	g := RateLatency(2, 1)
-	if got := ShiftLeft(ShiftRight(g, 3), 3); !AlmostEqual(got, g, 1e-9, 20) {
+	if got := mustCurve(ShiftLeft(mustCurve(ShiftRight(g, 3)), 3)); !AlmostEqual(got, g, 1e-9, 20) {
 		t.Errorf("shift round trip: got %v, want %v", got, g)
 	}
 }

@@ -150,8 +150,9 @@ func (s *Session) Close() error {
 
 // Exit implements the uniform CLI exit protocol for a command's run
 // function: nil returns normally; flag.ErrHelp exits 2 (the flag package
-// has already printed usage); anything else prints "tool: err" on stderr
-// and exits 1.
+// has already printed usage); an interrupted run (see Interrupted) prints
+// the error and exits 130, the shell convention for death by SIGINT;
+// anything else prints "tool: err" on stderr and exits 1.
 func Exit(tool string, err error) {
 	if err == nil {
 		return
@@ -160,5 +161,8 @@ func Exit(tool string, err error) {
 		os.Exit(2)
 	}
 	fmt.Fprintln(os.Stderr, tool+":", err)
+	if Interrupted(err) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

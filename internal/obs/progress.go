@@ -13,13 +13,15 @@ import (
 // is safe for concurrent Observe calls, and a nil *Progress discards
 // everything, so callers can thread one through unconditionally.
 type Progress struct {
-	mu       sync.Mutex
-	label    string
-	out      io.Writer
-	start    time.Time
-	lastLine time.Time
-	minGap   time.Duration
-	finished bool
+	mu        sync.Mutex
+	label     string
+	out       io.Writer
+	start     time.Time
+	lastLine  time.Time
+	minGap    time.Duration
+	finished  bool
+	lastDone  int
+	lastTotal int
 }
 
 // NewProgress creates a reporter writing to out (os.Stderr when nil).
@@ -39,6 +41,7 @@ func (p *Progress) Observe(done, total int) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.lastDone, p.lastTotal = done, total
 	now := time.Now()
 	if done < total && !p.lastLine.IsZero() && now.Sub(p.lastLine) < p.minGap {
 		return
@@ -70,6 +73,37 @@ func (p *Progress) Finish() {
 	}
 	p.finished = true
 	fmt.Fprintf(p.out, "%s: done in %s\n", p.label, fmtDur(time.Since(p.start)))
+}
+
+// Abort prints a final line for a batch that is stopping early (error or
+// interrupt), so the display never stalls mid-ETA: the last observed
+// done/total counts and the elapsed time. Nil-safe and idempotent with
+// Finish — whichever runs first closes the display.
+func (p *Progress) Abort(reason string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	p.finished = true
+	if reason == "" {
+		reason = "aborted"
+	}
+	fmt.Fprintf(p.out, "%s: %s at %d/%d after %s\n",
+		p.label, reason, p.lastDone, p.lastTotal, fmtDur(time.Since(p.start)))
+}
+
+// Counts returns the most recently observed (done, total). Nil-safe.
+func (p *Progress) Counts() (done, total int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastDone, p.lastTotal
 }
 
 // fmtDur trims durations to a readable precision across the µs–minutes

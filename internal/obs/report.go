@@ -32,23 +32,33 @@ type NodeSummary struct {
 	MaxQueueLen  int     `json:"max_queue_len"`
 }
 
+// SweepCount records how far a named sweep got: Done of Total points
+// completed. On a clean run Done == Total for every sweep; on an
+// interrupted run the gap shows where the work stopped.
+type SweepCount struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
 // RunReport is the JSON artifact of one tool invocation: enough context
 // (config, seed, code version) to reproduce the run, and enough
 // measurement (stage timings, probe summaries, computed bounds) to diff
 // two runs meaningfully.
 type RunReport struct {
-	Tool        string             `json:"tool"`
-	Version     string             `json:"version"`
-	StartedAt   time.Time          `json:"started_at"`
-	WallSeconds float64            `json:"wall_seconds"`
-	CPUSeconds  float64            `json:"cpu_seconds"`
-	Seed        int64              `json:"seed,omitempty"`
-	Config      map[string]any     `json:"config,omitempty"`
-	Stages      []StageTiming      `json:"stages,omitempty"`
-	Nodes       []NodeSummary      `json:"nodes,omitempty"`
-	Bounds      map[string]float64 `json:"bounds,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-	Extra       map[string]any     `json:"extra,omitempty"`
+	Tool        string                `json:"tool"`
+	Version     string                `json:"version"`
+	StartedAt   time.Time             `json:"started_at"`
+	WallSeconds float64               `json:"wall_seconds"`
+	CPUSeconds  float64               `json:"cpu_seconds"`
+	Interrupted bool                  `json:"interrupted,omitempty"`
+	Seed        int64                 `json:"seed,omitempty"`
+	Config      map[string]any        `json:"config,omitempty"`
+	Stages      []StageTiming         `json:"stages,omitempty"`
+	Sweeps      map[string]SweepCount `json:"sweeps,omitempty"`
+	Nodes       []NodeSummary         `json:"nodes,omitempty"`
+	Bounds      map[string]float64    `json:"bounds,omitempty"`
+	Metrics     map[string]float64    `json:"metrics,omitempty"`
+	Extra       map[string]any        `json:"extra,omitempty"`
 
 	mu       sync.Mutex
 	wallFrom time.Time
@@ -125,6 +135,33 @@ func (r *RunReport) SetExtra(name string, v any) {
 		r.Extra = make(map[string]any)
 	}
 	r.Extra[name] = v
+	r.mu.Unlock()
+}
+
+// SetInterrupted marks the run as cut short by a signal, so a partial
+// report is distinguishable from a complete one. Nil-safe.
+func (r *RunReport) SetInterrupted() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Interrupted = true
+	r.mu.Unlock()
+}
+
+// ObserveSweep records the progress of a named sweep: done of total
+// points completed so far. Call it as points finish (it is cheap and
+// concurrency-safe) or once at the end; the last observation wins.
+// Nil-safe.
+func (r *RunReport) ObserveSweep(name string, done, total int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.Sweeps == nil {
+		r.Sweeps = make(map[string]SweepCount)
+	}
+	r.Sweeps[name] = SweepCount{Done: done, Total: total}
 	r.mu.Unlock()
 }
 

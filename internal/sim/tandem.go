@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -53,6 +54,12 @@ type Tandem struct {
 	// completed slots and the total.
 	Progress      func(done, total int)
 	ProgressEvery int
+
+	// Ctx, when non-nil, cancels the run: the slot loop checks it every
+	// ProgressEvery slots and returns its error, so a multi-minute
+	// simulation dies within one progress interval of an interrupt. Nil
+	// means run to completion.
+	Ctx context.Context
 
 	nodes   []Scheduler
 	perNode []*measure.DelayRecorder
@@ -195,8 +202,15 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 				}
 			}
 		}
-		if t.Progress != nil && (slot+1)%progressEvery == 0 {
-			t.Progress(slot+1, slots)
+		if (slot+1)%progressEvery == 0 {
+			if t.Progress != nil {
+				t.Progress(slot+1, slots)
+			}
+			if t.Ctx != nil {
+				if err := t.Ctx.Err(); err != nil {
+					return nil, Stats{}, fmt.Errorf("sim: run stopped after %d/%d slots: %w", slot+1, slots, err)
+				}
+			}
 		}
 	}
 	if t.Progress != nil && slots%progressEvery != 0 {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -343,5 +345,37 @@ func TestBoundsHoldAcrossSchedulers(t *testing.T) {
 				t.Fatalf("violation CI %g±%g not below eps %g", fracCI, half, eps)
 			}
 		})
+	}
+}
+
+func TestTandemCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tan := &Tandem{
+		C:             10,
+		Through:       traffic.CBR{Rate: 4},
+		Cross:         make([]traffic.Source, 2),
+		MakeSched:     func(int) Scheduler { return NewFIFO() },
+		ProgressEvery: 100,
+		Ctx:           ctx,
+		Progress: func(done, total int) {
+			if done >= 300 {
+				cancel()
+			}
+		},
+	}
+	_, _, err := tan.Run(1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A nil Ctx must keep working as before.
+	tan2 := &Tandem{
+		C:         10,
+		Through:   traffic.CBR{Rate: 4},
+		Cross:     make([]traffic.Source, 2),
+		MakeSched: func(int) Scheduler { return NewFIFO() },
+	}
+	if _, _, err := tan2.Run(500); err != nil {
+		t.Fatal(err)
 	}
 }
