@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race stress cover bench figs figs-quick ablate fmt vet check fuzz-smoke profile clean
+.PHONY: all build test test-short race stress cover bench figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
 
 all: build test
 
@@ -40,6 +40,11 @@ figs-quick:
 ablate:
 	$(GO) run ./cmd/ablate -region
 
+# The scenario catalog: every registered workload with its parameter
+# schema and supported backends (same output as `<any cmd> -scenarios`).
+scenarios:
+	$(GO) run ./cmd/paperfigs -scenarios
+
 fmt:
 	gofmt -w ./cmd ./internal ./examples ./bench_test.go
 
@@ -60,6 +65,7 @@ check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
 	$(MAKE) fuzz-smoke

@@ -10,139 +10,107 @@
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
 	"os"
 
 	"deltasched/internal/experiments"
-	"deltasched/internal/obs"
 	"deltasched/internal/plot"
+	"deltasched/internal/runner"
+	"deltasched/internal/scenario"
 )
 
 func main() {
-	obs.Exit("ablate", run(os.Args[1:]))
+	runner.Exit("ablate", run(os.Args[1:]))
 }
 
-func run(args []string) (retErr error) {
-	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+func run(args []string) error {
+	app := runner.New("ablate", scenario.Analytic)
 	var (
-		utilFlag = fs.Float64("util", 0.5, "total utilization for the sweeps")
-		quick    = fs.Bool("quick", false, "smaller grids")
-		region   = fs.Bool("region", false, "also compute the two-class admissible region")
+		utilFlag = app.FS.Float64("util", 0.5, "total utilization for the sweeps")
+		quick    = app.FS.Bool("quick", false, "smaller grids")
+		region   = app.FS.Bool("region", false, "also compute the two-class admissible region")
 	)
-	var of obs.Flags
-	of.Register(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	util := *utilFlag
-
-	ctx, stopSignals := obs.SignalContext(context.Background())
-	defer stopSignals()
-
-	sess, err := of.Start("ablate")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if obs.Interrupted(retErr) {
-			sess.Report.SetInterrupted()
+	return app.Main(args, func(a *runner.App) error {
+		util := *utilFlag
+		cfg := scenario.Config{"util": util, "quick": *quick}
+		// one evaluates the named single-point scenario and hands back its
+		// Detail payload.
+		one := func(name string) (any, error) {
+			sc, err := scenario.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			_, rs, err := a.Run(sc, cfg, runner.RunOpt{Stage: name})
+			if err != nil {
+				return nil, err
+			}
+			return rs[0].Detail, nil
 		}
-		if cerr := sess.Close(); cerr != nil && retErr == nil {
-			retErr = cerr
-		}
-	}()
-	sess.Report.Config = obs.ConfigFromFlags(fs)
 
-	s := experiments.PaperSetup()
-	s.Ctx = ctx
-	hsScaling := []int{2, 4, 8, 16, 24}
-	hsRecipe := []int{2, 5, 10}
-	hsGain := []int{1, 2, 4, 8, 16}
-	if *quick {
-		hsScaling = []int{2, 4, 8}
-		hsRecipe = []int{2, 5}
-		hsGain = []int{2, 8}
-	}
-
-	fmt.Printf("== Scaling: network service curve vs additive bounds (U=%.0f%%) ==\n", util*100)
-	stopScaling := sess.Stage("scaling")
-	rep, err := s.Scaling(hsScaling, util)
-	stopScaling()
-	if err != nil {
-		return err
-	}
-	sess.Report.SetExtra("scaling", rep)
-	fmt.Printf("%6s %16s %16s\n", "H", "network [ms]", "additive [ms]")
-	for i, h := range rep.Hs {
-		fmt.Printf("%6d %16.4g %16.4g\n", h, rep.Network[i], rep.Additive[i])
-	}
-	fmt.Printf("fitted growth exponents: network H^%.2f (paper: Θ(H log H)), additive H^%.2f (paper: O(H³ log H))\n\n",
-		rep.NetworkExp, rep.AdditiveExp)
-
-	fmt.Printf("== Does scheduling matter on long paths? (ratios to BMUX, U=%.0f%%) ==\n", util*100)
-	stopGain := sess.Stage("edf-gain")
-	gain, err := s.EDFGain(hsGain, util)
-	stopGain()
-	if err != nil {
-		return err
-	}
-	sess.Report.SetExtra("edf_gain", gain)
-	fmt.Printf("%6s %12s %12s\n", "H", "FIFO/BMUX", "EDF/BMUX")
-	for i, h := range gain.Hs {
-		fmt.Printf("%6d %12.3f %12.3f\n", h, gain.FIFORatio[i], gain.EDFRatio[i])
-	}
-	fmt.Println()
-
-	fmt.Printf("== Ablation: paper's K-recipe (Eqs. 40–42) vs exact solver (U=%.0f%%) ==\n", util*100)
-	stopRecipe := sess.Stage("recipe")
-	rows, err := s.AblateRecipe(hsRecipe, util)
-	stopRecipe()
-	if err != nil {
-		return err
-	}
-	sess.Report.SetExtra("recipe", rows)
-	fmt.Printf("%-18s %14s %14s %10s\n", "config", "exact [ms]", "recipe [ms]", "penalty")
-	for _, r := range rows {
-		fmt.Printf("%-18s %14.4g %14.4g %9.3f×\n", r.Label, r.Full, r.Ablated, r.Penalty())
-	}
-	fmt.Println()
-
-	fmt.Println("== Ablation: fixed γ and fixed α vs optimized ==")
-	fmt.Printf("%-26s %14s %14s %10s\n", "config", "optimized", "ablated", "penalty")
-	stopParams := sess.Stage("gamma-alpha")
-	for _, frac := range []float64{0.25, 0.5, 0.75} {
-		row, err := s.AblateGamma(5, util, frac)
-		if err != nil {
-			stopParams()
-			return err
-		}
-		fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
-	}
-	row, err := s.AblateAlpha(5, util)
-	stopParams()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
-
-	if *region {
-		fmt.Println("\n== Two-class admissible region (C=50 Mbps, d1=10 ms, d2=100 ms) ==")
-		spec := experiments.RegionSpec{Capacity: 50, D1: 10, D2: 100}
-		n1s := []float64{10, 40, 80, 120, 160}
-		stopRegion := sess.Stage("region")
-		series, err := s.AdmissibleRegion(spec, n1s)
-		stopRegion()
+		fmt.Printf("== Scaling: network service curve vs additive bounds (U=%.0f%%) ==\n", util*100)
+		det, err := one("scaling")
 		if err != nil {
 			return err
 		}
-		sess.Report.SetExtra("region", series)
-		if err := plotTable(series); err != nil {
+		rep := det.(experiments.ScalingReport)
+		a.Sess.Report.SetExtra("scaling", rep)
+		fmt.Printf("%6s %16s %16s\n", "H", "network [ms]", "additive [ms]")
+		for i, h := range rep.Hs {
+			fmt.Printf("%6d %16.4g %16.4g\n", h, rep.Network[i], rep.Additive[i])
+		}
+		fmt.Printf("fitted growth exponents: network H^%.2f (paper: Θ(H log H)), additive H^%.2f (paper: O(H³ log H))\n\n",
+			rep.NetworkExp, rep.AdditiveExp)
+
+		fmt.Printf("== Does scheduling matter on long paths? (ratios to BMUX, U=%.0f%%) ==\n", util*100)
+		det, err = one("edf-gain")
+		if err != nil {
 			return err
 		}
-	}
-	return nil
+		gain := det.(experiments.EDFGainReport)
+		a.Sess.Report.SetExtra("edf_gain", gain)
+		fmt.Printf("%6s %12s %12s\n", "H", "FIFO/BMUX", "EDF/BMUX")
+		for i, h := range gain.Hs {
+			fmt.Printf("%6d %12.3f %12.3f\n", h, gain.FIFORatio[i], gain.EDFRatio[i])
+		}
+		fmt.Println()
+
+		fmt.Printf("== Ablation: paper's K-recipe (Eqs. 40–42) vs exact solver (U=%.0f%%) ==\n", util*100)
+		det, err = one("recipe")
+		if err != nil {
+			return err
+		}
+		rows := det.([]experiments.AblationRow)
+		a.Sess.Report.SetExtra("recipe", rows)
+		fmt.Printf("%-18s %14s %14s %10s\n", "config", "exact [ms]", "recipe [ms]", "penalty")
+		for _, r := range rows {
+			fmt.Printf("%-18s %14.4g %14.4g %9.3f×\n", r.Label, r.Full, r.Ablated, r.Penalty())
+		}
+		fmt.Println()
+
+		fmt.Println("== Ablation: fixed γ and fixed α vs optimized ==")
+		fmt.Printf("%-26s %14s %14s %10s\n", "config", "optimized", "ablated", "penalty")
+		det, err = one("gamma-alpha")
+		if err != nil {
+			return err
+		}
+		for _, row := range det.([]experiments.AblationRow) {
+			fmt.Printf("%-26s %14.4g %14.4g %9.3f×\n", row.Label, row.Full, row.Ablated, row.Penalty())
+		}
+
+		if *region {
+			fmt.Println("\n== Two-class admissible region (C=50 Mbps, d1=10 ms, d2=100 ms) ==")
+			det, err = one("region")
+			if err != nil {
+				return err
+			}
+			series := det.([]plot.Series)
+			a.Sess.Report.SetExtra("region", series)
+			if err := plotTable(series); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func plotTable(series []plot.Series) error {

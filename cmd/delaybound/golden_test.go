@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenOutput pins the delaybound stdout byte for byte against
+// goldens captured before the scenario/runner refactor: the CLI is a
+// formatting shell now, and its user-visible contract must not drift.
+func TestGoldenOutput(t *testing.T) {
+	tests := []struct {
+		golden string
+		args   []string
+	}{
+		{"db_fifo.golden", []string{"-H", "5", "-sched", "fifo", "-n0", "100", "-nc", "233"}},
+		{"db_edf_alpha.golden", []string{"-H", "4", "-sched", "edf", "-edf-d0", "5", "-edf-dc", "50",
+			"-n0", "60", "-nc", "100", "-alpha", "0.1", "-additive"}},
+		{"db_bmux.golden", []string{"-H", "3", "-sched", "bmux", "-n0", "50", "-nc", "150",
+			"-eps", "1e-6", "-additive"}},
+		{"db_hetero.golden", []string{"-config", filepath.Join("testdata", "hetero.json")}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tt.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := captureStdout(t, func() {
+				if err := run(tt.args); err != nil {
+					t.Errorf("run(%v): %v", tt.args, err)
+				}
+			})
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stdout drifted from the pre-refactor golden\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

@@ -13,171 +13,106 @@
 package main
 
 import (
-	"context"
-	"errors"
-	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"deltasched/internal/core"
-	"deltasched/internal/envelope"
-	"deltasched/internal/obs"
+	"deltasched/internal/runner"
+	"deltasched/internal/scenario"
 )
 
 func main() {
-	obs.Exit("delaybound", run(os.Args[1:]))
+	runner.Exit("delaybound", run(os.Args[1:]))
 }
 
-func run(args []string) (retErr error) {
-	fs := flag.NewFlagSet("delaybound", flag.ContinueOnError)
+func run(args []string) error {
+	app := runner.New("delaybound", scenario.Analytic)
 	var (
-		h        = fs.Int("H", 1, "path length (number of nodes)")
-		c        = fs.Float64("C", 100, "link capacity per node [kbit/slot]")
-		sched    = fs.String("sched", "fifo", "scheduler: fifo, bmux, sp (through prioritized), edf")
-		edfD0    = fs.Float64("edf-d0", 0, "EDF per-node deadline of the through traffic [slots]")
-		edfDc    = fs.Float64("edf-dc", 0, "EDF per-node deadline of the cross traffic [slots]")
-		n0       = fs.Float64("n0", 100, "number of through flows")
-		nc       = fs.Float64("nc", 100, "number of cross flows per node")
-		eps      = fs.Float64("eps", 1e-9, "violation probability")
-		peak     = fs.Float64("peak", 1.5, "MMOO peak emission per slot [kbit]")
-		p11      = fs.Float64("p11", 0.989, "MMOO P(OFF→OFF)")
-		p22      = fs.Float64("p22", 0.9, "MMOO P(ON→ON)")
-		alpha    = fs.Float64("alpha", 0, "fix the EBB decay α instead of optimizing it")
-		additive = fs.Bool("additive", false, "also compute the node-by-node additive bound")
-		config   = fs.String("config", "", "JSON file describing a heterogeneous path (overrides the flags)")
+		h        = app.FS.Int("H", 1, "path length (number of nodes)")
+		c        = app.FS.Float64("C", 100, "link capacity per node [kbit/slot]")
+		sched    = app.FS.String("sched", "fifo", "scheduler: fifo, bmux, sp (through prioritized), edf")
+		edfD0    = app.FS.Float64("edf-d0", 0, "EDF per-node deadline of the through traffic [slots]")
+		edfDc    = app.FS.Float64("edf-dc", 0, "EDF per-node deadline of the cross traffic [slots]")
+		n0       = app.FS.Float64("n0", 100, "number of through flows")
+		nc       = app.FS.Float64("nc", 100, "number of cross flows per node")
+		eps      = app.FS.Float64("eps", 1e-9, "violation probability")
+		peak     = app.FS.Float64("peak", 1.5, "MMOO peak emission per slot [kbit]")
+		p11      = app.FS.Float64("p11", 0.989, "MMOO P(OFF→OFF)")
+		p22      = app.FS.Float64("p22", 0.9, "MMOO P(ON→ON)")
+		alpha    = app.FS.Float64("alpha", 0, "fix the EBB decay α instead of optimizing it")
+		additive = app.FS.Bool("additive", false, "also compute the node-by-node additive bound")
+		config   = app.FS.String("config", "", "JSON file describing a heterogeneous path (overrides the flags)")
 	)
-	var of obs.Flags
-	of.Register(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	ctx, stopSignals := obs.SignalContext(context.Background())
-	defer stopSignals()
-
-	sess, err := of.Start("delaybound")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if obs.Interrupted(retErr) {
-			sess.Report.SetInterrupted()
+	return app.Main(args, func(a *runner.App) error {
+		if *config != "" {
+			return runHetero(a, *config)
 		}
-		if cerr := sess.Close(); cerr != nil && retErr == nil {
-			retErr = cerr
-		}
-	}()
-	sess.Report.Config = obs.ConfigFromFlags(fs)
-
-	if *config != "" {
-		pf, err := loadPathFile(*config)
+		sc, err := scenario.Get("path")
 		if err != nil {
 			return err
 		}
-		stop := sess.Stage("optimize-hetero")
-		res, err := heteroBound(ctx, pf)
-		stop()
+		cfg := scenario.Config{
+			"H": *h, "C": *c, "sched": *sched,
+			"edf-d0": *edfD0, "edf-dc": *edfDc,
+			"n0": *n0, "nc": *nc, "eps": *eps,
+			"peak": *peak, "p11": *p11, "p22": *p22,
+			"alpha": *alpha, "additive": *additive,
+		}
+		_, rs, err := a.Run(sc, cfg, runner.RunOpt{Stage: "optimize"})
 		if err != nil {
 			return err
 		}
-		sess.Report.SetBound("delay_bound_slots", res.D)
-		sess.Report.SetBound("gamma", res.Gamma)
-		fmt.Printf("heterogeneous path: %d nodes, eps=%.3g\n", len(pf.Nodes), pf.Eps)
-		for i, n := range pf.Nodes {
-			fmt.Printf("  node %d: C=%g kbit/slot, %g cross flows, %s\n", i+1, n.C, n.CrossFlows, n.Sched)
+		det := rs[0].Detail.(scenario.PathDetail)
+		res := det.Res
+		a.Sess.Report.SetBound("delay_bound_slots", res.D)
+		a.Sess.Report.SetBound("gamma", res.Gamma)
+		a.Sess.Report.SetBound("sigma", res.Sigma)
+
+		mean := det.Src.MeanRate()
+		fmt.Printf("scheduler        : %s (Delta_0c = %g)\n", *sched, det.Delta)
+		fmt.Printf("path             : H=%d nodes, C=%g kbit/slot\n", *h, *c)
+		fmt.Printf("traffic          : N0=%g through + Nc=%g cross MMOO flows (mean %.4g kbit/slot each)\n",
+			*n0, *nc, mean)
+		fmt.Printf("utilization      : U0=%.1f%%  Uc=%.1f%%  U=%.1f%%\n",
+			100**n0*mean / *c, 100**nc*mean / *c, 100*(*n0+*nc)*mean / *c)
+		fmt.Printf("violation prob   : %.3g\n", *eps)
+		fmt.Printf("DELAY BOUND      : %.4g slots (ms at the paper's 1 ms slots)\n", res.D)
+		fmt.Printf("optimizer        : gamma=%.4g  sigma=%.4g  X=%.4g\n", res.Gamma, res.Sigma, res.X)
+		fmt.Printf("theta            : %v\n", compact(res.Theta))
+
+		if *additive {
+			if det.AddErr != nil {
+				fmt.Printf("additive bound   : infeasible (%v)\n", det.AddErr)
+			} else if det.Additive != nil {
+				fmt.Printf("additive bound   : %.4g slots (node-by-node; looseness ×%.2f)\n",
+					det.Additive.D, det.Additive.D/res.D)
+				a.Sess.Report.SetBound("additive_bound_slots", det.Additive.D)
+			}
 		}
-		fmt.Printf("DELAY BOUND      : %.4g slots\n", res.D)
-		fmt.Printf("optimizer        : gamma=%.4g  sigma=%.4g  X=%.4g  theta=%v\n",
-			res.Gamma, res.Sigma, res.X, compact(res.Theta))
 		return nil
-	}
+	})
+}
 
-	src := envelope.MMOO{Peak: *peak, P11: *p11, P22: *p22}
-	if err := src.Validate(); err != nil {
-		return err
-	}
-
-	var delta float64
-	switch *sched {
-	case "fifo":
-		delta = 0
-	case "bmux":
-		delta = math.Inf(1)
-	case "sp":
-		delta = math.Inf(-1)
-	case "edf":
-		if *edfD0 <= 0 || *edfDc <= 0 {
-			return errors.New("edf requires -edf-d0 and -edf-dc > 0")
-		}
-		delta = *edfD0 - *edfDc
-	default:
-		return fmt.Errorf("unknown scheduler %q", *sched)
-	}
-
-	build := func(a float64) (core.PathConfig, error) {
-		if err := ctx.Err(); err != nil {
-			return core.PathConfig{}, err
-		}
-		through, err := src.EBBAggregate(*n0, a)
-		if err != nil {
-			return core.PathConfig{}, err
-		}
-		cross, err := src.EBBAggregate(*nc, a)
-		if err != nil {
-			return core.PathConfig{}, err
-		}
-		return core.PathConfig{H: *h, C: *c, Through: through, Cross: cross, Delta0c: delta}, nil
-	}
-
-	stopOpt := sess.Stage("optimize")
-	var res core.Result
-	if *alpha > 0 {
-		cfg, berr := build(*alpha)
-		if berr != nil {
-			stopOpt()
-			return berr
-		}
-		res, err = core.DelayBound(cfg, *eps)
-	} else {
-		res, err = core.OptimizeAlpha(build, *eps, 1e-3, 50)
-	}
-	stopOpt()
+// runHetero formats the heteropath scenario: the -config code path.
+func runHetero(a *runner.App, config string) error {
+	sc, err := scenario.Get("heteropath")
 	if err != nil {
 		return err
 	}
-	sess.Report.SetBound("delay_bound_slots", res.D)
-	sess.Report.SetBound("gamma", res.Gamma)
-	sess.Report.SetBound("sigma", res.Sigma)
-
-	mean := src.MeanRate()
-	fmt.Printf("scheduler        : %s (Delta_0c = %g)\n", *sched, delta)
-	fmt.Printf("path             : H=%d nodes, C=%g kbit/slot\n", *h, *c)
-	fmt.Printf("traffic          : N0=%g through + Nc=%g cross MMOO flows (mean %.4g kbit/slot each)\n",
-		*n0, *nc, mean)
-	fmt.Printf("utilization      : U0=%.1f%%  Uc=%.1f%%  U=%.1f%%\n",
-		100**n0*mean / *c, 100**nc*mean / *c, 100*(*n0+*nc)*mean / *c)
-	fmt.Printf("violation prob   : %.3g\n", *eps)
-	fmt.Printf("DELAY BOUND      : %.4g slots (ms at the paper's 1 ms slots)\n", res.D)
-	fmt.Printf("optimizer        : gamma=%.4g  sigma=%.4g  X=%.4g\n", res.Gamma, res.Sigma, res.X)
-	fmt.Printf("theta            : %v\n", compact(res.Theta))
-
-	if *additive {
-		cfg, berr := build(res.Bound.Alpha * float64(*h+1)) // the α the combined bound used
-		if berr != nil {
-			return berr
-		}
-		stopAdd := sess.Stage("additive")
-		add, aerr := core.AdditiveBound(cfg, *eps)
-		stopAdd()
-		if aerr != nil {
-			fmt.Printf("additive bound   : infeasible (%v)\n", aerr)
-		} else {
-			fmt.Printf("additive bound   : %.4g slots (node-by-node; looseness ×%.2f)\n",
-				add.D, add.D/res.D)
-			sess.Report.SetBound("additive_bound_slots", add.D)
-		}
+	_, rs, err := a.Run(sc, scenario.Config{"config": config}, runner.RunOpt{Stage: "optimize-hetero"})
+	if err != nil {
+		return err
 	}
+	det := rs[0].Detail.(scenario.HeteroDetail)
+	pf, res := det.PF, det.Res
+	a.Sess.Report.SetBound("delay_bound_slots", res.D)
+	a.Sess.Report.SetBound("gamma", res.Gamma)
+	fmt.Printf("heterogeneous path: %d nodes, eps=%.3g\n", len(pf.Nodes), pf.Eps)
+	for i, n := range pf.Nodes {
+		fmt.Printf("  node %d: C=%g kbit/slot, %g cross flows, %s\n", i+1, n.C, n.CrossFlows, n.Sched)
+	}
+	fmt.Printf("DELAY BOUND      : %.4g slots\n", res.D)
+	fmt.Printf("optimizer        : gamma=%.4g  sigma=%.4g  X=%.4g  theta=%v\n",
+		res.Gamma, res.Sigma, res.X, compact(res.Theta))
 	return nil
 }
 

@@ -2,6 +2,9 @@
 // fluid slot level and compares the measured end-to-end delays of the
 // through traffic against the analytical bound: the empirical violation
 // fraction of the bound must stay below the configured probability.
+// -backend selects the engines: both (default) validates the bound
+// against the simulation, sim runs the simulator alone, analytic
+// computes only the bound.
 //
 // Example:
 //
@@ -9,249 +12,118 @@
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
-	"math"
-	"math/rand"
 	"os"
 
-	"deltasched/internal/core"
 	"deltasched/internal/envelope"
-	"deltasched/internal/obs"
-	"deltasched/internal/sim"
-	"deltasched/internal/traffic"
+	"deltasched/internal/runner"
+	"deltasched/internal/scenario"
 )
 
 func main() {
-	obs.Exit("netsim", run(os.Args[1:]))
+	runner.Exit("netsim", run(os.Args[1:]))
 }
 
-func run(args []string) (retErr error) {
-	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+func run(args []string) error {
+	app := runner.New("netsim", scenario.Both)
 	var (
-		h     = fs.Int("H", 3, "path length (number of nodes)")
-		c     = fs.Float64("C", 20, "link capacity per node [kbit/slot]")
-		n0    = fs.Int("n0", 30, "number of through MMOO flows")
-		nc    = fs.Int("nc", 60, "number of cross MMOO flows per node")
-		sched = fs.String("sched", "fifo", "scheduler: fifo, bmux, sp, edf, gps, drr")
-		edfD0 = fs.Float64("edf-d0", 5, "EDF deadline of the through traffic [slots]")
-		edfDc = fs.Float64("edf-dc", 50, "EDF deadline of the cross traffic [slots]")
-		gpsW0 = fs.Float64("gps-w0", 1, "GPS weight of the through traffic")
-		gpsWc = fs.Float64("gps-wc", 1, "GPS weight of the cross traffic")
-		pkt   = fs.Float64("pktsize", 0, "packet size for non-preemptive service (0 = fluid); fifo/bmux/sp/edf only")
-		ccdf  = fs.Bool("ccdf", false, "print the empirical delay CCDF")
-		slots = fs.Int("slots", 200000, "simulation length in slots")
-		seed  = fs.Int64("seed", 1, "RNG seed")
-		eps   = fs.Float64("eps", 1e-2, "violation probability for the analytical bound")
-		every = fs.Int("probe-every", 1, "probe sampling stride in slots (with -report)")
+		h     = app.FS.Int("H", 3, "path length (number of nodes)")
+		c     = app.FS.Float64("C", 20, "link capacity per node [kbit/slot]")
+		n0    = app.FS.Int("n0", 30, "number of through MMOO flows")
+		nc    = app.FS.Int("nc", 60, "number of cross MMOO flows per node")
+		sched = app.FS.String("sched", "fifo", "scheduler: fifo, bmux, sp, edf, gps, drr")
+		edfD0 = app.FS.Float64("edf-d0", 5, "EDF deadline of the through traffic [slots]")
+		edfDc = app.FS.Float64("edf-dc", 50, "EDF deadline of the cross traffic [slots]")
+		gpsW0 = app.FS.Float64("gps-w0", 1, "GPS weight of the through traffic")
+		gpsWc = app.FS.Float64("gps-wc", 1, "GPS weight of the cross traffic")
+		pkt   = app.FS.Float64("pktsize", 0, "packet size for non-preemptive service (0 = fluid); fifo/bmux/sp/edf only")
+		ccdf  = app.FS.Bool("ccdf", false, "print the empirical delay CCDF")
+		slots = app.FS.Int("slots", 200000, "simulation length in slots")
+		seed  = app.FS.Int64("seed", 1, "RNG seed")
+		eps   = app.FS.Float64("eps", 1e-2, "violation probability for the analytical bound")
+		every = app.FS.Int("probe-every", 1, "probe sampling stride in slots (with -report)")
 	)
-	var of obs.Flags
-	of.Register(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+	return app.Main(args, func(a *runner.App) error {
+		a.Sess.Report.Seed = *seed
 
-	if *slots <= 0 {
-		return fmt.Errorf("%w: -slots must be positive, got %d", core.ErrBadConfig, *slots)
-	}
-	if *eps <= 0 || *eps >= 1 || math.IsNaN(*eps) {
-		return fmt.Errorf("%w: -eps must be in (0,1), got %g", core.ErrBadConfig, *eps)
-	}
-
-	ctx, stopSignals := obs.SignalContext(context.Background())
-	defer stopSignals()
-
-	sess, err := of.Start("netsim")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if obs.Interrupted(retErr) {
-			sess.Report.SetInterrupted()
-		}
-		if cerr := sess.Close(); cerr != nil && retErr == nil {
-			retErr = cerr
-		}
-	}()
-	sess.Report.Config = obs.ConfigFromFlags(fs)
-	sess.Report.Seed = *seed
-
-	src := envelope.PaperSource()
-	mkSched, delta, err := schedulerFor(*sched, *edfD0, *edfDc, *gpsW0, *gpsWc)
-	if err != nil {
-		return err
-	}
-	if *pkt > 0 {
-		if *sched == "gps" || *sched == "drr" {
-			return fmt.Errorf("-pktsize applies to precedence schedulers only")
-		}
-		inner := mkSched
-		mkSched = func(node int) sim.Scheduler {
-			p, ok := inner(node).(*sim.Precedence)
-			if !ok {
-				return inner(node)
-			}
-			np, err := sim.NewNonPreemptive(p, *pkt)
-			if err != nil {
-				panic(err) // packet size validated by the flag check above
-			}
-			return np
-		}
-	}
-
-	// Analytical bound (GPS and DRR are not Δ-schedulers; the BMUX bound
-	// still applies to any work-conserving locally-FIFO discipline and is
-	// reported instead).
-	label := "analytical bound"
-	if math.IsNaN(delta) {
-		delta = math.Inf(1)
-		label = "BMUX fallback bound (not a Δ-scheduler)"
-	}
-	build := func(a float64) (core.PathConfig, error) {
-		if err := ctx.Err(); err != nil {
-			return core.PathConfig{}, err
-		}
-		through, err := src.EBBAggregate(float64(*n0), a)
-		if err != nil {
-			return core.PathConfig{}, err
-		}
-		cross, err := src.EBBAggregate(float64(*nc), a)
-		if err != nil {
-			return core.PathConfig{}, err
-		}
-		return core.PathConfig{H: *h, C: *c, Through: through, Cross: cross, Delta0c: delta}, nil
-	}
-	stopBound := sess.Stage("optimize-bound")
-	res, err := core.OptimizeAlpha(build, *eps, 1e-3, 50)
-	stopBound()
-	if err != nil {
-		return fmt.Errorf("computing the bound: %w", err)
-	}
-
-	rng := rand.New(rand.NewSource(*seed))
-	through, err := traffic.NewMMOOAggregate(src, *n0, rng)
-	if err != nil {
-		return err
-	}
-	cross := make([]traffic.Source, *h)
-	for i := range cross {
-		cs, err := traffic.NewMMOOAggregate(src, *nc, rng)
+		sc, err := scenario.Get("tandem")
 		if err != nil {
 			return err
 		}
-		cross[i] = cs
-	}
-	tan := &sim.Tandem{C: *c, Through: through, Cross: cross, MakeSched: mkSched, Ctx: ctx}
-	var probe *obs.SimProbe
-	if of.Report != "" {
-		probe = &obs.SimProbe{Every: *every}
-		tan.Probe = probe
-	}
-	pr := sess.NewProgress("netsim: slots")
-	tan.Progress = pr.Observe
-	stopSim := sess.Stage("simulate")
-	rec, stats, err := tan.Run(*slots)
-	stopSim()
-	if err != nil {
-		reason := "failed"
-		if obs.Interrupted(err) {
-			reason = "interrupted"
+		probeEvery := 0
+		if a.ReportEnabled() {
+			probeEvery = *every
 		}
-		pr.Abort(reason)
-		return err
-	}
-	pr.Finish()
-	stopAnalyze := sess.Stage("analyze")
-	dist := rec.Distribution()
-	defer stopAnalyze()
+		cfg := scenario.Config{
+			"H": *h, "C": *c, "n0": *n0, "nc": *nc,
+			"sched": *sched, "edf-d0": *edfD0, "edf-dc": *edfDc,
+			"gps-w0": *gpsW0, "gps-wc": *gpsWc, "pktsize": *pkt,
+			"slots": *slots, "seed": *seed, "eps": *eps,
+			"probe-every": probeEvery,
+		}
+		_, rs, err := a.Run(sc, cfg, runner.RunOpt{Label: "netsim: slots", Stage: "simulate"})
+		if err != nil {
+			return err
+		}
+		det := rs[0].Detail.(scenario.TandemDetail)
+		stopAnalyze := a.Sess.Stage("analyze")
+		defer stopAnalyze()
 
-	mean := src.MeanRate()
-	fmt.Printf("scenario         : H=%d C=%g, N0=%d + Nc=%d MMOO flows, scheduler %s\n", *h, *c, *n0, *nc, *sched)
-	fmt.Printf("utilization      : U=%.1f%% (U0=%.1f%%, Uc=%.1f%%)\n",
-		100*float64(*n0+*nc)*mean / *c, 100*float64(*n0)*mean / *c, 100*float64(*nc)*mean / *c)
-	fmt.Printf("simulated        : %d slots, %.4g kbit through traffic, max node backlog %.4g kbit\n",
-		*slots, stats.ThroughArrived, stats.MaxBacklog)
-	if q, err := dist.Quantile(0.5); err == nil {
-		fmt.Printf("delay median     : %d slots\n", q)
-	}
-	for _, p := range []float64{0.99, 0.999, 0.9999} {
-		if q, err := dist.Quantile(p); err == nil {
-			fmt.Printf("delay p%-8.4g : %d slots\n", 100*p, q)
-		}
-	}
-	if mx, err := dist.Max(); err == nil {
-		fmt.Printf("delay max        : %d slots\n", mx)
-	}
-	fmt.Printf("%s : %.4g slots at eps=%.3g\n", label, res.D, *eps)
-	frac := dist.ViolationFraction(res.D)
-	fmt.Printf("empirical P(W>d) : %.3g  →  bound %s\n", frac, verdict(frac <= *eps))
+		mean := envelope.PaperSource().MeanRate()
+		fmt.Printf("scenario         : H=%d C=%g, N0=%d + Nc=%d MMOO flows, scheduler %s\n", *h, *c, *n0, *nc, *sched)
+		fmt.Printf("utilization      : U=%.1f%% (U0=%.1f%%, Uc=%.1f%%)\n",
+			100*float64(*n0+*nc)*mean / *c, 100*float64(*n0)*mean / *c, 100*float64(*nc)*mean / *c)
 
-	sess.Report.Nodes = probe.Summaries()
-	sess.Report.SetBound("delay_bound_slots", res.D)
-	sess.Report.SetBound("empirical_violation_fraction", frac)
-	sess.Report.SetMetric("through_arrived_kbit", stats.ThroughArrived)
-	sess.Report.SetMetric("cross_arrived_kbit", stats.CrossArrived)
-	sess.Report.SetMetric("max_node_backlog_kbit", stats.MaxBacklog)
-	for _, p := range []float64{0.5, 0.99, 0.999, 0.9999} {
-		if q, err := dist.Quantile(p); err == nil {
-			sess.Report.SetBound(fmt.Sprintf("delay_p%g_slots", 100*p), float64(q))
-		}
-	}
-	if *ccdf {
-		ds, ps := dist.CCDF()
-		fmt.Println("\nempirical CCDF (delay [slots], P(W > delay)):")
-		for i := range ds {
-			if ps[i] <= 0 {
-				fmt.Printf("  %6g  0 (no observations beyond)\n", ds[i])
-				break
+		if a.Backend.Has(scenario.Sim) {
+			dist := det.Dist
+			fmt.Printf("simulated        : %d slots, %.4g kbit through traffic, max node backlog %.4g kbit\n",
+				*slots, det.Stats.ThroughArrived, det.Stats.MaxBacklog)
+			if q, err := dist.Quantile(0.5); err == nil {
+				fmt.Printf("delay median     : %d slots\n", q)
 			}
-			fmt.Printf("  %6g  %.3g\n", ds[i], ps[i])
+			for _, p := range []float64{0.99, 0.999, 0.9999} {
+				if q, err := dist.Quantile(p); err == nil {
+					fmt.Printf("delay p%-8.4g : %d slots\n", 100*p, q)
+				}
+			}
+			if mx, err := dist.Max(); err == nil {
+				fmt.Printf("delay max        : %d slots\n", mx)
+			}
 		}
-	}
-	return nil
-}
+		if a.Backend.Has(scenario.Analytic) {
+			fmt.Printf("%s : %.4g slots at eps=%.3g\n", det.BoundLabel, det.Res.D, *eps)
+			a.Sess.Report.SetBound("delay_bound_slots", det.Res.D)
+		}
+		if a.Backend == scenario.Both {
+			frac := det.Dist.ViolationFraction(det.Res.D)
+			fmt.Printf("empirical P(W>d) : %.3g  →  bound %s\n", frac, verdict(frac <= *eps))
+			a.Sess.Report.SetBound("empirical_violation_fraction", frac)
+		}
 
-func schedulerFor(name string, d0, dc, w0, wc float64) (func(int) sim.Scheduler, float64, error) {
-	switch name {
-	case "fifo":
-		return func(int) sim.Scheduler { return sim.NewFIFO() }, 0, nil
-	case "bmux":
-		return func(int) sim.Scheduler { return sim.NewBMUX(sim.ThroughFlow) }, math.Inf(1), nil
-	case "sp":
-		return func(int) sim.Scheduler {
-			return sim.NewSP(map[core.FlowID]int{sim.ThroughFlow: 2, sim.CrossFlow: 1})
-		}, math.Inf(-1), nil
-	case "edf":
-		return func(int) sim.Scheduler {
-			return sim.NewEDF(map[core.FlowID]float64{sim.ThroughFlow: d0, sim.CrossFlow: dc})
-		}, d0 - dc, nil
-	case "gps":
-		return func(int) sim.Scheduler {
-			g, err := sim.NewGPS(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
-			if err != nil {
-				panic(err) // weights validated below
+		if a.Backend.Has(scenario.Sim) {
+			a.Sess.Report.Nodes = det.Probe.Summaries()
+			a.Sess.Report.SetMetric("through_arrived_kbit", det.Stats.ThroughArrived)
+			a.Sess.Report.SetMetric("cross_arrived_kbit", det.Stats.CrossArrived)
+			a.Sess.Report.SetMetric("max_node_backlog_kbit", det.Stats.MaxBacklog)
+			for _, p := range []float64{0.5, 0.99, 0.999, 0.9999} {
+				if q, err := det.Dist.Quantile(p); err == nil {
+					a.Sess.Report.SetBound(fmt.Sprintf("delay_p%g_slots", 100*p), float64(q))
+				}
 			}
-			return g
-		}, math.NaN(), validateGPS(w0, wc)
-	case "drr":
-		return func(int) sim.Scheduler {
-			d, err := sim.NewDRR(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
-			if err != nil {
-				panic(err) // weights validated below
+			if *ccdf {
+				ds, ps := det.Dist.CCDF()
+				fmt.Println("\nempirical CCDF (delay [slots], P(W > delay)):")
+				for i := range ds {
+					if ps[i] <= 0 {
+						fmt.Printf("  %6g  0 (no observations beyond)\n", ds[i])
+						break
+					}
+					fmt.Printf("  %6g  %.3g\n", ds[i], ps[i])
+				}
 			}
-			return d
-		}, math.NaN(), validateGPS(w0, wc)
-	default:
-		return nil, 0, fmt.Errorf("unknown scheduler %q", name)
-	}
-}
-
-func validateGPS(w0, wc float64) error {
-	if w0 <= 0 || wc <= 0 {
-		return fmt.Errorf("gps weights must be positive (w0=%g, wc=%g)", w0, wc)
-	}
-	return nil
+		}
+		return nil
+	})
 }
 
 func verdict(ok bool) string {

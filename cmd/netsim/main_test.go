@@ -4,58 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"math"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"deltasched/internal/obs"
 )
-
-func TestSchedulerFor(t *testing.T) {
-	tests := []struct {
-		name      string
-		wantDelta float64
-		wantErr   bool
-	}{
-		{"fifo", 0, false},
-		{"bmux", math.Inf(1), false},
-		{"sp", math.Inf(-1), false},
-		{"edf", -45, false},
-		{"gps", math.NaN(), false},
-		{"drr", math.NaN(), false},
-		{"wfq", 0, true},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			mk, delta, err := schedulerFor(tt.name, 5, 50, 1, 1)
-			if (err != nil) != tt.wantErr {
-				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
-			}
-			if tt.wantErr {
-				return
-			}
-			if mk == nil || mk(0) == nil {
-				t.Fatal("scheduler factory must produce schedulers")
-			}
-			if math.IsNaN(tt.wantDelta) != math.IsNaN(delta) {
-				t.Fatalf("delta = %g, want NaN-ness %v", delta, math.IsNaN(tt.wantDelta))
-			}
-			if !math.IsNaN(tt.wantDelta) && delta != tt.wantDelta {
-				t.Fatalf("delta = %g, want %g", delta, tt.wantDelta)
-			}
-		})
-	}
-}
-
-func TestValidateGPS(t *testing.T) {
-	if err := validateGPS(1, 2); err != nil {
-		t.Fatal(err)
-	}
-	if err := validateGPS(0, 1); err == nil {
-		t.Fatal("zero weight must be rejected")
-	}
-}
 
 func TestVerdict(t *testing.T) {
 	if verdict(true) != "HOLDS" || verdict(false) != "VIOLATED" {
@@ -75,6 +29,20 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if err := run([]string{"-sched", "gps", "-pktsize", "2"}); err == nil {
 		t.Fatal("pktsize with gps must error")
+	}
+}
+
+func TestRunBackendSelection(t *testing.T) {
+	// The sim backend skips the bound, the analytic backend skips the
+	// simulation; both must still exit cleanly.
+	for _, be := range []string{"sim", "analytic"} {
+		if err := run([]string{"-backend", be, "-H", "2", "-C", "20",
+			"-n0", "5", "-nc", "10", "-slots", "1000", "-eps", "1e-2"}); err != nil {
+			t.Fatalf("backend %s: %v", be, err)
+		}
+	}
+	if err := run([]string{"-backend", "quantum"}); err == nil {
+		t.Fatal("unknown backend must error")
 	}
 }
 
@@ -108,8 +76,8 @@ func TestRunWritesReport(t *testing.T) {
 	if r.Config["slots"] != float64(3000) {
 		t.Fatalf("config not captured: slots=%v", r.Config["slots"])
 	}
-	if len(r.Stages) < 3 {
-		t.Fatalf("expected >= 3 stages, got %v", r.Stages)
+	if len(r.Stages) < 2 {
+		t.Fatalf("expected >= 2 stages (simulate, analyze), got %v", r.Stages)
 	}
 	if len(r.Nodes) != 2 {
 		t.Fatalf("expected 2 node summaries, got %d", len(r.Nodes))
@@ -121,6 +89,9 @@ func TestRunWritesReport(t *testing.T) {
 	}
 	if _, ok := r.Bounds["delay_bound_slots"]; !ok {
 		t.Fatalf("bounds missing: %v", r.Bounds)
+	}
+	if _, ok := r.Bounds["empirical_violation_fraction"]; !ok {
+		t.Fatalf("combined-backend report must carry the empirical violation fraction: %v", r.Bounds)
 	}
 	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
 		t.Fatalf("cpu profile not written: %v", err)

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenCSVs pins the -quick CSV artifacts byte for byte against
+// goldens captured before the scenario/runner refactor. The second half
+// replays figure 1 entirely from a checkpoint: a resumed run must ship
+// the identical file.
+func TestGoldenCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -quick sweeps")
+	}
+	dir := t.TempDir()
+	for _, fig := range []string{"1", "2", "3"} {
+		t.Run("fig"+fig, func(t *testing.T) {
+			out := filepath.Join(dir, "fig"+fig)
+			quietRun(t, []string{"-quick", "-fig", fig, "-outdir", out})
+			assertGoldenCSV(t, filepath.Join(out, "fig"+fig+".csv"))
+		})
+	}
+
+	t.Run("fig1-resumed", func(t *testing.T) {
+		check := filepath.Join(dir, "check.json")
+		first := filepath.Join(dir, "first")
+		quietRun(t, []string{"-quick", "-fig", "1", "-outdir", first, "-checkpoint", check})
+		resumed := filepath.Join(dir, "resumed")
+		quietRun(t, []string{"-quick", "-fig", "1", "-outdir", resumed, "-checkpoint", check, "-resume"})
+		assertGoldenCSV(t, filepath.Join(resumed, "fig1.csv"))
+	})
+}
+
+// quietRun executes run with stdout swallowed: the goldens under test
+// are the CSV artifacts, not the tables and charts.
+func quietRun(t *testing.T, args []string) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertGoldenCSV(t *testing.T, path string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", filepath.Base(path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from the pre-refactor golden\ngot:\n%s\nwant:\n%s", filepath.Base(path), got, want)
+	}
+}

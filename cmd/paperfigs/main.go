@@ -2,7 +2,9 @@
 // (Figs. 2–4 of "Does Link Scheduling Matter on Long Paths?", ICDCS 2010)
 // from the analytical delay bounds implemented in this repository. Each
 // figure is printed as an aligned table and an ASCII chart, and optionally
-// written as CSV for external plotting.
+// written as CSV for external plotting. With -backend=sim or both, every
+// point is additionally replayed in the discrete-time simulator and the
+// empirical delay quantile is reported next to the bound.
 //
 // A run is interruptible: SIGINT/SIGTERM cancels the sweeps, flushes the
 // checkpoint (when -checkpoint is set) and a partial run report, and
@@ -11,195 +13,137 @@
 //
 // Usage:
 //
-//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-checkpoint FILE [-resume]] [-progress] [-report FILE]
+//	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-backend analytic|sim|both] [-checkpoint FILE [-resume]] [-progress] [-report FILE]
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
 
-	"deltasched/internal/experiments"
-	"deltasched/internal/obs"
 	"deltasched/internal/plot"
+	"deltasched/internal/runner"
+	"deltasched/internal/scenario"
 )
 
 func main() {
-	obs.Exit("paperfigs", run(os.Args[1:]))
+	runner.Exit("paperfigs", run(os.Args[1:]))
 }
 
-func run(args []string) (retErr error) {
-	fs := flag.NewFlagSet("paperfigs", flag.ContinueOnError)
+func run(args []string) error {
+	app := runner.New("paperfigs", scenario.Analytic)
 	var (
-		fig        = fs.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
-		quick      = fs.Bool("quick", false, "coarser sweeps (fast preview)")
-		outdir     = fs.String("outdir", "", "directory for CSV output (optional)")
-		checkpoint = fs.String("checkpoint", "", "record completed sweep points in this JSON file")
-		resume     = fs.Bool("resume", false, "skip points already recorded in the -checkpoint file")
+		fig    = app.FS.String("fig", "all", "figure to regenerate: 1, 2, 3 or all")
+		quick  = app.FS.Bool("quick", false, "coarser sweeps (fast preview)")
+		outdir = app.FS.String("outdir", "", "directory for CSV output (optional)")
+		slots  = app.FS.Int("slots", 50000, "sim backend: simulated slots per point")
+		seed   = app.FS.Int64("seed", 1, "sim backend: RNG seed")
+		simeps = app.FS.Float64("simeps", 0.01, "sim backend: tail mass of the reported empirical quantile")
 	)
-	var of obs.Flags
-	of.Register(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *resume && *checkpoint == "" {
-		return fmt.Errorf("-resume requires -checkpoint")
-	}
+	return app.Main(args, func(a *runner.App) error {
+		type figure struct {
+			id     string
+			title  string
+			xlabel string
+			logY   bool
+		}
+		figures := []figure{
+			{
+				id:     "1",
+				title:  "Fig. 2 (Example 1): e2e delay bound vs total utilization U (U0=15%, eps=1e-9)",
+				xlabel: "total utilization U [%]",
+				logY:   true,
+			},
+			{
+				id:     "2",
+				title:  "Fig. 3 (Example 2): e2e delay bound vs traffic mix Uc/U (U=50%, eps=1e-9)",
+				xlabel: "cross-traffic share Uc/U",
+			},
+			{
+				id:     "3",
+				title:  "Fig. 4 (Example 3): e2e delay bound vs path length H (N0=Nc, eps=1e-9)",
+				xlabel: "path length H",
+				logY:   true,
+			},
+		}
+		if a.Backend.Has(scenario.Sim) {
+			a.Sess.Report.Seed = *seed
+		}
 
-	var check *experiments.Checkpoint
-	if *checkpoint != "" {
-		if *resume {
-			var err error
-			if check, err = experiments.LoadCheckpoint(*checkpoint); err != nil {
-				return err
+		for _, f := range figures {
+			if *fig != "all" && *fig != f.id {
+				continue
 			}
-			fmt.Fprintf(os.Stderr, "paperfigs: resuming with %d checkpointed points\n", check.Len())
-		} else {
-			check = experiments.NewCheckpoint(*checkpoint)
-		}
-	}
-
-	ctx, stopSignals := obs.SignalContext(context.Background())
-	defer stopSignals()
-
-	sess, err := of.Start("paperfigs")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		// The checkpoint and a truthfully-marked report must land on disk
-		// even (especially) when the run is cut short.
-		if ferr := check.Flush(); ferr != nil && retErr == nil {
-			retErr = ferr
-		}
-		if obs.Interrupted(retErr) {
-			sess.Report.SetInterrupted()
-		}
-		if cerr := sess.Close(); cerr != nil && retErr == nil {
-			retErr = cerr
-		}
-	}()
-	sess.Report.Config = obs.ConfigFromFlags(fs)
-
-	s := experiments.PaperSetup()
-	s.Ctx = ctx
-	s.Check = check
-
-	utils1 := sweep(0.20, 0.95, 0.05)
-	mixes := sweep(0.1, 0.9, 0.1)
-	hs3 := intSweep(1, 30, 1)
-	if *quick {
-		utils1 = sweep(0.20, 0.95, 0.15)
-		mixes = sweep(0.1, 0.9, 0.2)
-		hs3 = []int{1, 2, 4, 6, 8, 12, 16, 20, 25, 30}
-	}
-
-	type figure struct {
-		id     string
-		title  string
-		xlabel string
-		logY   bool
-		make   func() ([]plot.Series, error)
-	}
-	figures := []figure{
-		{
-			id:     "1",
-			title:  "Fig. 2 (Example 1): e2e delay bound vs total utilization U (U0=15%, eps=1e-9)",
-			xlabel: "total utilization U [%]",
-			logY:   true,
-			make:   func() ([]plot.Series, error) { return s.Example1([]int{2, 5, 10}, utils1) },
-		},
-		{
-			id:     "2",
-			title:  "Fig. 3 (Example 2): e2e delay bound vs traffic mix Uc/U (U=50%, eps=1e-9)",
-			xlabel: "cross-traffic share Uc/U",
-			make:   func() ([]plot.Series, error) { return s.Example2([]int{2, 5, 10}, mixes) },
-		},
-		{
-			id:     "3",
-			title:  "Fig. 4 (Example 3): e2e delay bound vs path length H (N0=Nc, eps=1e-9)",
-			xlabel: "path length H",
-			logY:   true,
-			make:   func() ([]plot.Series, error) { return s.Example3(hs3, []float64{0.1, 0.5, 0.9}) },
-		},
-	}
-
-	for _, f := range figures {
-		if *fig != "all" && *fig != f.id {
-			continue
-		}
-		pr := sess.NewProgress("fig " + f.id)
-		name := "fig" + f.id
-		s.OnProgress = func(done, total int) {
-			sess.Report.ObserveSweep(name, done, total)
-			pr.Observe(done, total)
-		}
-		stop := sess.Stage("fig-" + f.id)
-		start := time.Now()
-		series, err := f.make()
-		stop()
-		if err != nil {
-			reason := "failed"
-			if obs.Interrupted(err) {
-				reason = "interrupted"
-			}
-			pr.Abort(reason)
-			return fmt.Errorf("figure %s: %w", f.id, err)
-		}
-		pr.Finish()
-		sess.Report.SetExtra("fig"+f.id, series)
-		sess.Report.SetMetric("fig"+f.id+"_series", float64(len(series)))
-		fmt.Printf("\n%s   (computed in %v)\n\n", f.title, time.Since(start).Round(time.Millisecond))
-		if err := plot.Table(os.Stdout, f.xlabel, series...); err != nil {
-			return err
-		}
-		fmt.Println()
-		if err := plot.ASCII(os.Stdout, plot.Options{
-			XLabel: f.xlabel,
-			YLabel: "delay bound [ms]",
-			LogY:   f.logY,
-			Width:  84,
-			Height: 24,
-		}, series...); err != nil {
-			return err
-		}
-		if *outdir != "" {
-			if err := os.MkdirAll(*outdir, 0o755); err != nil {
-				return err
-			}
-			path := filepath.Join(*outdir, "fig"+f.id+".csv")
-			out, err := os.Create(path)
+			sc, err := scenario.Get("fig" + f.id)
 			if err != nil {
 				return err
 			}
-			if err := plot.CSV(out, series...); err != nil {
-				out.Close()
+			cfg := scenario.Config{"quick": *quick, "slots": *slots, "seed": *seed, "simeps": *simeps}
+			start := time.Now()
+			pts, rs, err := a.Run(sc, cfg, runner.RunOpt{
+				Label: "fig " + f.id,
+				Stage: "fig-" + f.id,
+				Sweep: "fig" + f.id,
+			})
+			if err != nil {
+				return fmt.Errorf("figure %s: %w", f.id, err)
+			}
+			series := scenario.Collect(pts, rs)
+			a.Sess.Report.SetExtra("fig"+f.id, series)
+			a.Sess.Report.SetMetric("fig"+f.id+"_series", float64(len(series)))
+			fmt.Printf("\n%s   (computed in %v)\n\n", f.title, time.Since(start).Round(time.Millisecond))
+			if err := plot.Table(os.Stdout, f.xlabel, series...); err != nil {
 				return err
 			}
-			if err := out.Close(); err != nil {
+			fmt.Println()
+			if err := plot.ASCII(os.Stdout, plot.Options{
+				XLabel: f.xlabel,
+				YLabel: "delay bound [ms]",
+				LogY:   f.logY,
+				Width:  84,
+				Height: 24,
+			}, series...); err != nil {
 				return err
 			}
-			fmt.Printf("\nwrote %s\n", path)
+			if a.Backend.Has(scenario.Sim) {
+				printSimCheck(pts, rs, *simeps)
+			}
+			if *outdir != "" {
+				if err := os.MkdirAll(*outdir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(*outdir, "fig"+f.id+".csv")
+				out, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := plot.CSV(out, series...); err != nil {
+					out.Close()
+					return err
+				}
+				if err := out.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("\nwrote %s\n", path)
+			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-func sweep(lo, hi, step float64) []float64 {
-	var out []float64
-	for x := lo; x <= hi+1e-9; x += step {
-		out = append(out, x)
+// printSimCheck renders the combined analytic/empirical view of a figure
+// run under the sim backend: for every point, the bound next to the
+// simulator's delay quantile at 1−simeps.
+func printSimCheck(pts []scenario.Point, rs []scenario.Result, simeps float64) {
+	fmt.Printf("\nsimulator cross-check (delay quantile at 1-%g vs analytic bound):\n", simeps)
+	fmt.Printf("%-28s %10s %14s %16s\n", "series", "x", "bound [ms]", "sim quantile [ms]")
+	for i, pt := range pts {
+		q := math.NaN()
+		if v, ok := rs[i].Sim["sim_delay_quantile_slots"]; ok {
+			q = v
+		}
+		fmt.Printf("%-28s %10.4g %14.4g %16.4g\n", pt.Series, pt.X, rs[i].Analytic, q)
 	}
-	return out
-}
-
-func intSweep(lo, hi, step int) []int {
-	var out []int
-	for x := lo; x <= hi; x += step {
-		out = append(out, x)
-	}
-	return out
 }

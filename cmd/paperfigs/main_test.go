@@ -3,7 +3,6 @@ package main
 import (
 	"errors"
 	"flag"
-	"math"
 	"testing"
 )
 
@@ -19,28 +18,8 @@ func TestRunRejectsUnknownFlag(t *testing.T) {
 	}
 }
 
-func TestSweep(t *testing.T) {
-	got := sweep(0.2, 0.6, 0.2)
-	want := []float64{0.2, 0.4, 0.6}
-	if len(got) != len(want) {
-		t.Fatalf("sweep = %v, want %v", got, want)
-	}
-	for i := range want {
-		if math.Abs(got[i]-want[i]) > 1e-12 {
-			t.Fatalf("sweep[%d] = %g, want %g", i, got[i], want[i])
-		}
-	}
-}
-
-func TestIntSweep(t *testing.T) {
-	got := intSweep(1, 7, 3)
-	want := []int{1, 4, 7}
-	if len(got) != len(want) {
-		t.Fatalf("intSweep = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("intSweep[%d] = %d, want %d", i, got[i], want[i])
-		}
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if err := run([]string{"-backend", "quantum"}); err == nil {
+		t.Fatal("unknown backend must error")
 	}
 }

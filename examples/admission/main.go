@@ -15,10 +15,10 @@ package main
 import (
 	"errors"
 	"fmt"
-	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/minplus"
+	"deltasched/internal/runner"
 )
 
 // flowClass describes one service class.
@@ -151,14 +151,4 @@ func admitGreedy(
 // fail prints a one-line diagnosis and exits non-zero. The error
 // taxonomy in internal/core lets an infeasible scenario (no finite
 // bound exists) read as a finding rather than a crash.
-func fail(err error) {
-	switch {
-	case errors.Is(err, core.ErrInfeasible):
-		fmt.Fprintln(os.Stderr, "admission: infeasible scenario:", err)
-	case errors.Is(err, core.ErrBadConfig):
-		fmt.Fprintln(os.Stderr, "admission: bad scenario:", err)
-	default:
-		fmt.Fprintln(os.Stderr, "admission:", err)
-	}
-	os.Exit(1)
-}
+func fail(err error) { runner.Fail("admission", err) }

@@ -12,13 +12,12 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"os"
 
-	"deltasched/internal/core"
 	"deltasched/internal/experiments"
 	"deltasched/internal/plot"
+	"deltasched/internal/runner"
 )
 
 func main() {
@@ -75,14 +74,4 @@ func main() {
 // fail prints a one-line diagnosis and exits non-zero. The error
 // taxonomy in internal/core lets an infeasible scenario (no finite
 // bound exists) read as a finding rather than a crash.
-func fail(err error) {
-	switch {
-	case errors.Is(err, core.ErrInfeasible):
-		fmt.Fprintln(os.Stderr, "longpath: infeasible scenario:", err)
-	case errors.Is(err, core.ErrBadConfig):
-		fmt.Fprintln(os.Stderr, "longpath: bad scenario:", err)
-	default:
-		fmt.Fprintln(os.Stderr, "longpath:", err)
-	}
-	os.Exit(1)
-}
+func fail(err error) { runner.Fail("longpath", err) }

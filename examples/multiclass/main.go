@@ -11,13 +11,12 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/runner"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
@@ -136,14 +135,4 @@ func buildFlows(classes []class, tagged int, alpha float64) (envelope.EBB, []cor
 // fail prints a one-line diagnosis and exits non-zero. The error
 // taxonomy in internal/core lets an infeasible scenario (no finite
 // bound exists) read as a finding rather than a crash.
-func fail(err error) {
-	switch {
-	case errors.Is(err, core.ErrInfeasible):
-		fmt.Fprintln(os.Stderr, "multiclass: infeasible scenario:", err)
-	case errors.Is(err, core.ErrBadConfig):
-		fmt.Fprintln(os.Stderr, "multiclass: bad scenario:", err)
-	default:
-		fmt.Fprintln(os.Stderr, "multiclass:", err)
-	}
-	os.Exit(1)
-}
+func fail(err error) { runner.Fail("multiclass", err) }

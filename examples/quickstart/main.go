@@ -8,13 +8,12 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/runner"
 )
 
 func main() {
@@ -73,14 +72,4 @@ func main() {
 // fail prints a one-line diagnosis and exits non-zero. The error
 // taxonomy in internal/core lets an infeasible scenario (no finite
 // bound exists) read as a finding rather than a crash.
-func fail(err error) {
-	switch {
-	case errors.Is(err, core.ErrInfeasible):
-		fmt.Fprintln(os.Stderr, "quickstart: infeasible scenario:", err)
-	case errors.Is(err, core.ErrBadConfig):
-		fmt.Fprintln(os.Stderr, "quickstart: bad scenario:", err)
-	default:
-		fmt.Fprintln(os.Stderr, "quickstart:", err)
-	}
-	os.Exit(1)
-}
+func fail(err error) { runner.Fail("quickstart", err) }

@@ -17,13 +17,12 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/runner"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
@@ -149,14 +148,4 @@ func verdict(ok bool) string {
 // fail prints a one-line diagnosis and exits non-zero. The error
 // taxonomy in internal/core lets an infeasible scenario (no finite
 // bound exists) read as a finding rather than a crash.
-func fail(err error) {
-	switch {
-	case errors.Is(err, core.ErrInfeasible):
-		fmt.Fprintln(os.Stderr, "videoconf: infeasible scenario:", err)
-	case errors.Is(err, core.ErrBadConfig):
-		fmt.Fprintln(os.Stderr, "videoconf: bad scenario:", err)
-	default:
-		fmt.Fprintln(os.Stderr, "videoconf:", err)
-	}
-	os.Exit(1)
-}
+func fail(err error) { runner.Fail("videoconf", err) }

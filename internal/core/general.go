@@ -142,7 +142,7 @@ func DelayBoundGeneral(c float64, j FlowID, envs map[FlowID]GeneralEnvelope, p P
 			if err != nil {
 				return false
 			}
-			return dev <= d+1e-9
+			return dev <= d+SchedulabilitySlack
 		}
 		hi := 1.0
 		for i := 0; i < 80 && !feasible(hi); i++ {

@@ -7,6 +7,18 @@ import (
 	"deltasched/internal/minplus"
 )
 
+// SchedulabilitySlack is the absolute numerical slack the schedulability
+// tests grant the scheduled side of a deviation comparison. The min-plus
+// deviation computations accumulate floating-point error across breakpoint
+// enumeration and curve shifting, so exact comparisons would misclassify
+// configurations sitting on the feasibility boundary (where the bisection
+// in DelayBoundDet converges by construction). The slack is expressed in
+// the comparison's native units — kbit for Eq. 24's vertical deviation
+// against the capacity–delay product C·d, slots for the horizontal
+// deviation against d in DelayBoundGeneral — and is orders of magnitude
+// below any physically meaningful backlog or delay in the paper's setups.
+const SchedulabilitySlack = 1e-9
+
 // SchedulableDet evaluates the paper's deterministic schedulability
 // condition (Eq. 24) for flow j and target delay d:
 //
@@ -24,7 +36,7 @@ func SchedulableDet(c float64, j FlowID, envs map[FlowID]minplus.Curve, p Policy
 		return false, err
 	}
 	dev := minplus.VDev(sum, minplus.ConstantRate(c))
-	return dev <= c*d+1e-9, nil
+	return dev <= c*d+SchedulabilitySlack, nil
 }
 
 // precedenceSum builds Σ_{k∈N_j} E_k(· + Δ_{j,k}(d)).

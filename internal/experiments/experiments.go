@@ -143,7 +143,13 @@ func pointID(example string, sched Scheduler, h int, x float64) string {
 		"/x=" + strconv.FormatFloat(x, 'g', -1, 64)
 }
 
-func (s Scheduler) deadlineRatio() (ratio float64, isEDF bool) {
+// DeadlineRatio returns, for the EDF variants, the deadline multiplier
+// r = d*_c / d*_0 of the provisioning rule, and whether the scheduler is
+// an EDF variant at all. The simulation backend uses it to derive
+// concrete per-node deadlines from a computed end-to-end bound D:
+// d*_0 = D/H, d*_c = r·d*_0 — the same provisioning the analytic
+// EDFProvisioned bound uses.
+func (s Scheduler) DeadlineRatio() (ratio float64, isEDF bool) {
 	switch s {
 	case EDFRatio10:
 		return 10, true
@@ -237,7 +243,7 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 		return core.PathConfig{H: h, C: s.Capacity, Through: through, Cross: cross}, nil
 	}
 
-	if ratio, isEDF := sched.deadlineRatio(); isEDF {
+	if ratio, isEDF := sched.DeadlineRatio(); isEDF {
 		_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
 			cfg, err := build(alpha)
 			if err != nil {
@@ -296,102 +302,31 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 // Infeasible points (bounds do not exist that close to saturation) are
 // reported as NaN.
 func (s Setup) Example1(hs []int, utils []float64) ([]plot.Series, error) {
-	const n0 = 100 // the paper's fixed through population (U0 = 15%)
-	scheds := []Scheduler{BMUX, FIFO, EDFRatio10}
-	var xs []float64 // feasible utilizations, identical for every series
-	for _, u := range utils {
-		if s.FlowCount(u)-n0 >= 0 {
-			xs = append(xs, u)
-		}
-	}
-	prog := s.progressCounter(len(hs) * len(scheds) * len(xs))
-	var out []plot.Series
-	for _, h := range hs {
-		for _, sched := range scheds {
-			h, sched := h, sched
-			ys, _, err := ParMapCtx(s.ctx(), 0, xs, func(_ context.Context, u float64) (float64, error) {
-				return s.sweepPoint(pointID("ex1", sched, h, u), func() (float64, error) {
-					return s.Bound(sched, h, n0, s.FlowCount(u)-n0)
-				})
-			}, RunOptions{OnDone: prog})
-			if err != nil {
-				return nil, err
-			}
-			ser := plot.Series{Label: fmt.Sprintf("%v H=%d", sched, h)}
-			for i, u := range xs {
-				ser.X = append(ser.X, u*100)
-				ser.Y = append(ser.Y, ys[i])
-			}
-			if len(ser.X) == 0 {
-				return nil, fmt.Errorf("experiments: example 1: no feasible points for %v H=%d", sched, h)
-			}
-			out = append(out, ser)
-		}
-	}
-	return out, nil
+	return s.runExample(s.Example1Points(hs, utils))
 }
 
 // Example2 reproduces Fig. 3: delay bounds versus the traffic mix U_c/U at
 // fixed total utilization U = 50%, for FIFO, BMUX and the two EDF
 // variants, H ∈ hs.
 func (s Setup) Example2(hs []int, mixes []float64) ([]plot.Series, error) {
-	const util = 0.5
-	scheds := []Scheduler{BMUX, FIFO, EDFThroughHalf, EDFThroughDouble}
-	total := s.FlowCount(util)
-	var out []plot.Series
-	for _, mix := range mixes {
-		if mix < 0 || mix > 1 {
-			return nil, fmt.Errorf("experiments: example 2: mix %g outside [0,1]", mix)
-		}
-	}
-	prog := s.progressCounter(len(hs) * len(scheds) * len(mixes))
-	for _, h := range hs {
-		for _, sched := range scheds {
-			h, sched := h, sched
-			ys, _, err := ParMapCtx(s.ctx(), 0, mixes, func(_ context.Context, mix float64) (float64, error) {
-				return s.sweepPoint(pointID("ex2", sched, h, mix), func() (float64, error) {
-					nc := total * mix
-					return s.Bound(sched, h, total-nc, nc)
-				})
-			}, RunOptions{OnDone: prog})
-			if err != nil {
-				return nil, err
-			}
-			ser := plot.Series{Label: fmt.Sprintf("%v H=%d", sched, h)}
-			ser.X = append(ser.X, mixes...)
-			ser.Y = append(ser.Y, ys...)
-			out = append(out, ser)
-		}
-	}
-	return out, nil
+	return s.runExample(s.Example2Points(hs, mixes))
 }
 
 // Example3 reproduces Fig. 4: delay bounds versus path length H at
 // N_0 = N_c, for U ∈ utils, comparing BMUX, FIFO, EDF (d*_c = 10·d*_0)
 // and the additive node-by-node BMUX baseline.
 func (s Setup) Example3(hs []int, utils []float64) ([]plot.Series, error) {
-	scheds := []Scheduler{BMUX, FIFO, EDFRatio10, BMUXAdditive}
-	prog := s.progressCounter(len(utils) * len(scheds) * len(hs))
-	var out []plot.Series
-	for _, u := range utils {
-		n := s.FlowCount(u) / 2 // N0 = Nc
-		for _, sched := range scheds {
-			u, sched := u, sched
-			ys, _, err := ParMapCtx(s.ctx(), 0, hs, func(_ context.Context, h int) (float64, error) {
-				return s.sweepPoint(pointID("ex3", sched, h, u), func() (float64, error) {
-					return s.Bound(sched, h, n, n)
-				})
-			}, RunOptions{OnDone: prog})
-			if err != nil {
-				return nil, err
-			}
-			ser := plot.Series{Label: fmt.Sprintf("%v U=%g%%", sched, u*100)}
-			for i, h := range hs {
-				ser.X = append(ser.X, float64(h))
-				ser.Y = append(ser.Y, ys[i])
-			}
-			out = append(out, ser)
-		}
+	return s.runExample(s.Example3Points(hs, utils))
+}
+
+// runExample sweeps an enumerated example and assembles its figure.
+func (s Setup) runExample(pts []SweepPoint, err error) ([]plot.Series, error) {
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	ys, err := s.RunSweep(pts)
+	if err != nil {
+		return nil, err
+	}
+	return CollectSeries(pts, ys), nil
 }

@@ -1,0 +1,198 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"deltasched/internal/core"
+	"deltasched/internal/experiments"
+	"deltasched/internal/obs"
+	"deltasched/internal/scenario"
+)
+
+// App is one CLI process: its flag set, the signal-aware context, the
+// observability session, the resume checkpoint, and the selected
+// backend. New registers the shared flags; Main parses, wires the
+// lifecycle, and hands a ready App to the command body.
+type App struct {
+	Name    string
+	FS      *flag.FlagSet
+	Ctx     context.Context
+	Sess    *obs.Session
+	Check   *experiments.Checkpoint
+	Backend scenario.Backend
+
+	obsFlags   obs.Flags
+	checkpoint *string
+	resume     *bool
+	catalog    *bool
+	backendStr *string
+}
+
+// New creates an App and registers the flags every command shares:
+// -checkpoint/-resume, -scenarios, -backend (defaulting to def), and the
+// observability set (-report, -progress, profiling). Command-specific
+// flags are added to app.FS before Main.
+func New(name string, def scenario.Backend) *App {
+	a := &App{Name: name, FS: flag.NewFlagSet(name, flag.ContinueOnError)}
+	a.checkpoint = a.FS.String("checkpoint", "", "record completed sweep points in this JSON file")
+	a.resume = a.FS.Bool("resume", false, "skip points already recorded in the -checkpoint file")
+	a.catalog = a.FS.Bool("scenarios", false, "print the scenario catalog and exit")
+	a.backendStr = a.FS.String("backend", def.String(), "evaluation backend: analytic, sim or both")
+	a.obsFlags.Register(a.FS)
+	return a
+}
+
+// ReportEnabled reports whether -report was set: commands use it to
+// enable expensive instrumentation (per-node probes) only when a report
+// will be written.
+func (a *App) ReportEnabled() bool { return a.obsFlags.Report != "" }
+
+// Main runs the command: parse flags, honour -scenarios, load or create
+// the checkpoint, install signal handling, start the observability
+// session, and call body with everything wired. The deferred teardown
+// mirrors the historical CLIs: the checkpoint and a truthfully-marked
+// report land on disk even (especially) when the run is cut short.
+func (a *App) Main(args []string, body func(a *App) error) (retErr error) {
+	if err := a.FS.Parse(args); err != nil {
+		return err
+	}
+	if *a.catalog {
+		return PrintCatalog(os.Stdout)
+	}
+	be, err := scenario.ParseBackend(*a.backendStr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", core.ErrBadConfig, err)
+	}
+	a.Backend = be
+	if *a.resume && *a.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *a.checkpoint != "" {
+		if *a.resume {
+			if a.Check, err = experiments.LoadCheckpoint(*a.checkpoint); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "%s: resuming with %d checkpointed points\n", a.Name, a.Check.Len())
+		} else {
+			a.Check = experiments.NewCheckpoint(*a.checkpoint)
+		}
+	}
+
+	ctx, stopSignals := obs.SignalContext(context.Background())
+	defer stopSignals()
+	a.Ctx = ctx
+
+	sess, err := a.obsFlags.Start(a.Name)
+	if err != nil {
+		return err
+	}
+	a.Sess = sess
+	defer func() {
+		if ferr := a.Check.Flush(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+		if obs.Interrupted(retErr) {
+			sess.Report.SetInterrupted()
+		}
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	sess.Report.Config = obs.ConfigFromFlags(a.FS)
+
+	return body(a)
+}
+
+// RunOpt names a scenario run in the observability outputs. Zero values
+// default to the scenario name.
+type RunOpt struct {
+	Label string // progress display label
+	Stage string // report stage name
+	Sweep string // report sweep key (multi-point scenarios)
+}
+
+// Run executes a scenario against the App's backend: enumerate points,
+// fan out over ParMapCtx (cancellable, panic-isolating), drive progress
+// and the report sweep, and — for resumable sweeps under the analytic
+// backend — serve and record points through the checkpoint. Results come
+// back in point order.
+func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scenario.Point, []scenario.Result, error) {
+	info := sc.Info()
+	if opt.Label == "" {
+		opt.Label = info.Name
+	}
+	if opt.Stage == "" {
+		opt.Stage = info.Name
+	}
+	if opt.Sweep == "" {
+		opt.Sweep = info.Name
+	}
+	be := a.Backend
+	if be&^info.Backends != 0 {
+		return nil, nil, fmt.Errorf("%w: scenario %q runs on backend %s, not %s",
+			core.ErrBadConfig, info.Name, info.Backends, be)
+	}
+
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Checkpointing applies to scalar sweeps under the pure analytic
+	// backend: only there is a point a single resumable float. Lookup and
+	// Record are nil-safe, so an unset -checkpoint needs no guard.
+	useCheck := info.Sweep && be == scenario.Analytic
+
+	pr := a.Sess.NewProgress(opt.Label)
+	var opts experiments.RunOptions
+	if info.Sweep {
+		opts.OnDone = func(done, total int) {
+			a.Sess.Report.ObserveSweep(opt.Sweep, done, total)
+			pr.Observe(done, total)
+		}
+	} else {
+		// Single-shot scenarios report fine-grained progress from inside
+		// Evaluate (e.g. the tandem simulation's slot loop).
+		cfg = cfg.WithProgress(pr.Observe)
+	}
+
+	stop := a.Sess.Stage(opt.Stage)
+	rs, _, err := experiments.ParMapCtx(a.Ctx, 0, pts, func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
+		if useCheck {
+			if v, ok := a.Check.Lookup(pt.ID); ok {
+				return scenario.Result{Analytic: v}, nil
+			}
+		}
+		res, err := sc.Evaluate(ctx, cfg, pt, be)
+		switch {
+		case err == nil:
+		case info.Sweep && errors.Is(err, core.ErrInfeasible):
+			// An infeasible sweep point is a legitimate data point — the
+			// figure shows a gap there. Everything else aborts the run so
+			// bugs and interrupts are not silently plotted as gaps.
+			res = scenario.Result{Analytic: math.NaN()}
+		default:
+			return scenario.Result{}, err
+		}
+		if useCheck {
+			a.Check.Record(pt.ID, res.Analytic)
+		}
+		return res, nil
+	}, opts)
+	stop()
+	if err != nil {
+		reason := "failed"
+		if obs.Interrupted(err) {
+			reason = "interrupted"
+		}
+		pr.Abort(reason)
+		return nil, nil, err
+	}
+	pr.Finish()
+	return pts, rs, nil
+}

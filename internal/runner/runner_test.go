@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"deltasched/internal/core"
+	"deltasched/internal/scenario"
+)
+
+// testEvals counts Evaluate calls of the registered test sweep, so the
+// resume test can prove checkpointed points are served, not recomputed.
+var testEvals atomic.Int32
+
+type testSweep struct{}
+
+func (testSweep) Info() scenario.Info {
+	return scenario.Info{Name: "test-sweep", Desc: "runner test fixture", Backends: scenario.Analytic, Sweep: true}
+}
+
+func (testSweep) Points(scenario.Config) ([]scenario.Point, error) {
+	return []scenario.Point{
+		{ID: "t/1", X: 1, Series: "s"},
+		{ID: "t/2", X: 2, Series: "s"},
+		{ID: "t/3", X: 3, Series: "s"},
+	}, nil
+}
+
+func (testSweep) Evaluate(_ context.Context, _ scenario.Config, pt scenario.Point, _ scenario.Backend) (scenario.Result, error) {
+	testEvals.Add(1)
+	if pt.ID == "t/2" {
+		return scenario.Result{}, fmt.Errorf("saturated: %w", core.ErrInfeasible)
+	}
+	return scenario.Result{Analytic: pt.X * 2}, nil
+}
+
+func init() { scenario.Register(testSweep{}) }
+
+func TestAppRunSweepCheckpointResume(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "check.json")
+	sc, err := scenario.Get("test-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func(extra ...string) []scenario.Result {
+		t.Helper()
+		var rs []scenario.Result
+		app := New("ttool", scenario.Analytic)
+		err := app.Main(append([]string{"-checkpoint", cp}, extra...), func(a *App) error {
+			_, got, err := a.Run(sc, nil, RunOpt{})
+			rs = got
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	rs := runOnce()
+	if n := testEvals.Load(); n != 3 {
+		t.Fatalf("first run evaluated %d points, want 3", n)
+	}
+	if rs[0].Analytic != 2 || rs[2].Analytic != 6 {
+		t.Fatalf("wrong sweep values: %+v", rs)
+	}
+	if !math.IsNaN(rs[1].Analytic) {
+		t.Fatalf("infeasible sweep point must become NaN, got %g", rs[1].Analytic)
+	}
+
+	// Resume: every point is served from the checkpoint — including the
+	// NaN — with zero recomputation.
+	rs2 := runOnce("-resume")
+	if n := testEvals.Load(); n != 3 {
+		t.Fatalf("resume recomputed points: %d evaluations total, want 3", n)
+	}
+	if rs2[0].Analytic != 2 || rs2[2].Analytic != 6 || !math.IsNaN(rs2[1].Analytic) {
+		t.Fatalf("resumed values differ: %+v", rs2)
+	}
+}
+
+func TestAppRejectsUnsupportedBackend(t *testing.T) {
+	sc, err := scenario.Get("test-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := New("ttool", scenario.Analytic)
+	err = app.Main([]string{"-backend", "sim"}, func(a *App) error {
+		_, _, err := a.Run(sc, nil, RunOpt{})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "runs on backend") {
+		t.Fatalf("unsupported backend must be rejected, got %v", err)
+	}
+}
+
+func TestAppResumeRequiresCheckpoint(t *testing.T) {
+	app := New("ttool", scenario.Analytic)
+	err := app.Main([]string{"-resume"}, func(a *App) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
+		t.Fatalf("-resume alone must error, got %v", err)
+	}
+}
+
+func TestAppScenariosFlag(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	app := New("ttool", scenario.Analytic)
+	called := false
+	mainErr := app.Main([]string{"-scenarios"}, func(a *App) error {
+		called = true
+		return nil
+	})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if mainErr != nil {
+		t.Fatal(mainErr)
+	}
+	if called {
+		t.Fatal("-scenarios must print the catalog without running the body")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fig1", "tandem", "path", "heteropath", "scaling",
+		"(backends: both)", "(backends: analytic)",
+		"slots", "default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("catalog missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeClassifiesErrors(t *testing.T) {
+	if got := Describe("tool", fmt.Errorf("x: %w", core.ErrInfeasible)); !strings.Contains(got, "tool: infeasible scenario:") {
+		t.Fatalf("infeasible not classified: %q", got)
+	}
+	if got := Describe("tool", fmt.Errorf("x: %w", core.ErrBadConfig)); !strings.Contains(got, "tool: bad scenario:") {
+		t.Fatalf("bad config not classified: %q", got)
+	}
+	if got := Describe("tool", fmt.Errorf("boom")); got != "tool: boom" {
+		t.Fatalf("plain error format changed: %q", got)
+	}
+}

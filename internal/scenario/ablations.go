@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"context"
+	"strconv"
+
+	"deltasched/internal/experiments"
+)
+
+// singleScenario adapts a one-point computation (a whole ablation grid, a
+// configured path bound) to the Scenario interface. The Result's Detail
+// carries the structured report; such scenarios are not resumable sweeps.
+type singleScenario struct {
+	info Info
+	id   func(cfg Config) string
+	eval func(ctx context.Context, cfg Config, be Backend) (Result, error)
+}
+
+func (s singleScenario) Info() Info { return s.info }
+
+func (s singleScenario) Points(cfg Config) ([]Point, error) {
+	return []Point{{ID: s.id(cfg)}}, nil
+}
+
+func (s singleScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Backend) (Result, error) {
+	return s.eval(ctx, cfg, be)
+}
+
+// ablationSetup is the shared PaperSetup with the sweep context attached.
+func ablationSetup(ctx context.Context) experiments.Setup {
+	s := experiments.PaperSetup()
+	s.Ctx = ctx
+	return s
+}
+
+// ablationID builds the deterministic point ID of an ablation run.
+func ablationID(name string, cfg Config) string {
+	return name + "/u=" + strconv.FormatFloat(cfg.Float("util", 0.5), 'g', -1, 64) +
+		"/quick=" + strconv.FormatBool(cfg.Bool("quick", false))
+}
+
+var ablationParams = []Param{
+	{Name: "util", Kind: "float", Default: "0.5", Help: "total utilization of the sweeps"},
+	{Name: "quick", Kind: "bool", Default: "false", Help: "smaller grids"},
+}
+
+// The design-choice ablations and scaling analyses of DESIGN.md
+// (command ablate), each as a registered analytic scenario.
+func init() {
+	Register(singleScenario{
+		info: Info{
+			Name:     "scaling",
+			Desc:     "growth of the network-service-curve bound vs the additive baseline, with fitted exponents",
+			Backends: Analytic,
+			Params:   ablationParams,
+		},
+		id: func(cfg Config) string { return ablationID("scaling", cfg) },
+		eval: func(ctx context.Context, cfg Config, _ Backend) (Result, error) {
+			hs := []int{2, 4, 8, 16, 24}
+			if cfg.Bool("quick", false) {
+				hs = []int{2, 4, 8}
+			}
+			rep, err := ablationSetup(ctx).Scaling(hs, cfg.Float("util", 0.5))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Analytic: rep.NetworkExp, Detail: rep}, nil
+		},
+	})
+	Register(singleScenario{
+		info: Info{
+			Name:     "edf-gain",
+			Desc:     "persistence of scheduler differentiation: FIFO/BMUX and EDF/BMUX bound ratios vs H",
+			Backends: Analytic,
+			Params:   ablationParams,
+		},
+		id: func(cfg Config) string { return ablationID("edf-gain", cfg) },
+		eval: func(ctx context.Context, cfg Config, _ Backend) (Result, error) {
+			hs := []int{1, 2, 4, 8, 16}
+			if cfg.Bool("quick", false) {
+				hs = []int{2, 8}
+			}
+			rep, err := ablationSetup(ctx).EDFGain(hs, cfg.Float("util", 0.5))
+			if err != nil {
+				return Result{}, err
+			}
+			var last float64
+			if n := len(rep.EDFRatio); n > 0 {
+				last = rep.EDFRatio[n-1]
+			}
+			return Result{Analytic: last, Detail: rep}, nil
+		},
+	})
+	Register(singleScenario{
+		info: Info{
+			Name:     "recipe",
+			Desc:     "ablation: the paper's K-recipe (Eqs. 40-42) vs the exact inner solver",
+			Backends: Analytic,
+			Params:   ablationParams,
+		},
+		id: func(cfg Config) string { return ablationID("recipe", cfg) },
+		eval: func(ctx context.Context, cfg Config, _ Backend) (Result, error) {
+			hs := []int{2, 5, 10}
+			if cfg.Bool("quick", false) {
+				hs = []int{2, 5}
+			}
+			rows, err := ablationSetup(ctx).AblateRecipe(hs, cfg.Float("util", 0.5))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Detail: rows}, nil
+		},
+	})
+	Register(singleScenario{
+		info: Info{
+			Name:     "gamma-alpha",
+			Desc:     "ablation: fixed rate slack γ and fixed EBB decay α vs the optimized bound",
+			Backends: Analytic,
+			Params:   ablationParams[:1],
+		},
+		id: func(cfg Config) string { return ablationID("gamma-alpha", cfg) },
+		eval: func(ctx context.Context, cfg Config, _ Backend) (Result, error) {
+			s := ablationSetup(ctx)
+			util := cfg.Float("util", 0.5)
+			var rows []experiments.AblationRow
+			for _, frac := range []float64{0.25, 0.5, 0.75} {
+				row, err := s.AblateGamma(5, util, frac)
+				if err != nil {
+					return Result{}, err
+				}
+				rows = append(rows, row)
+			}
+			row, err := s.AblateAlpha(5, util)
+			if err != nil {
+				return Result{}, err
+			}
+			rows = append(rows, row)
+			return Result{Detail: rows}, nil
+		},
+	})
+	Register(singleScenario{
+		info: Info{
+			Name:     "region",
+			Desc:     "two-class admissible region on one link (EDF vs FIFO vs SP), C=50 Mbps, d1=10 ms, d2=100 ms",
+			Backends: Analytic,
+		},
+		id: func(Config) string { return "region/c=50/d1=10/d2=100" },
+		eval: func(ctx context.Context, _ Config, _ Backend) (Result, error) {
+			spec := experiments.RegionSpec{Capacity: 50, D1: 10, D2: 100}
+			series, err := ablationSetup(ctx).AdmissibleRegion(spec, []float64{10, 40, 80, 120, 160})
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Detail: series}, nil
+		},
+	})
+}

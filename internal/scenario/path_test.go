@@ -1,4 +1,4 @@
-package main
+package scenario
 
 import (
 	"context"
@@ -19,21 +19,21 @@ const validConfig = `{
 }`
 
 func TestParsePathFileValid(t *testing.T) {
-	pf, err := parsePathFile([]byte(validConfig))
+	pf, err := ParsePathFile([]byte(validConfig))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pf.Nodes) != 3 || pf.ThroughFlows != 100 {
 		t.Fatalf("unexpected parse result: %+v", pf)
 	}
-	d, err := pf.Nodes[1].delta()
+	d, err := pf.Nodes[1].Delta()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d != -45 {
 		t.Fatalf("EDF delta = %g, want -45", d)
 	}
-	if d, _ := pf.Nodes[2].delta(); !math.IsInf(d, 1) {
+	if d, _ := pf.Nodes[2].Delta(); !math.IsInf(d, 1) {
 		t.Fatalf("BMUX delta = %g, want +Inf", d)
 	}
 }
@@ -60,7 +60,7 @@ func TestParsePathFileErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := parsePathFile([]byte(tt.mut(validConfig))); err == nil {
+			if _, err := ParsePathFile([]byte(tt.mut(validConfig))); err == nil {
 				t.Fatalf("expected parse error")
 			}
 		})
@@ -68,11 +68,11 @@ func TestParsePathFileErrors(t *testing.T) {
 }
 
 func TestHeteroBoundFromConfig(t *testing.T) {
-	pf, err := parsePathFile([]byte(validConfig))
+	pf, err := ParsePathFile([]byte(validConfig))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := heteroBound(context.Background(), pf)
+	res, err := HeteroBound(context.Background(), pf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +82,9 @@ func TestHeteroBoundFromConfig(t *testing.T) {
 	// The 60 Mbps node is the bottleneck: tightening it must worsen the
 	// bound, relaxing it must improve it.
 	tighter := pf
-	tighter.Nodes = append([]nodeSpec(nil), pf.Nodes...)
+	tighter.Nodes = append([]PathNode(nil), pf.Nodes...)
 	tighter.Nodes[1].C = 45
-	resT, err := heteroBound(context.Background(), tighter)
+	resT, err := HeteroBound(context.Background(), tighter)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The package registry: built-in scenarios register themselves from
+// init, extensions from their own packages' init. Registration is
+// write-once — two scenarios with one name is a programming error.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Scenario)
+)
+
+// Register adds a scenario under its Info().Name. It panics on a
+// duplicate or empty name: registration happens at init time, where a
+// collision is a build defect, not a runtime condition.
+func Register(s Scenario) {
+	name := s.Info().Name
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Get returns the named scenario.
+func Get(name string) (Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (run with -scenarios for the catalog)", name)
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos returns the registry cards of all scenarios, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, s := range registry {
+		infos = append(infos, s.Info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

@@ -1,0 +1,209 @@
+// Package scenario is the catalog layer between the analysis engines and
+// the CLIs: every workload this repository can run — the paper's figures,
+// the design ablations, the heterogeneous-path bound, the simulator
+// validation — is a registered Scenario with a name, a parameter schema,
+// a deterministic point enumeration, and an Evaluate function. The
+// shared runner (internal/runner) executes any registered scenario
+// against the analytic engine (internal/core), the discrete-time
+// simulator (internal/sim), or both, so a new workload is a registration
+// rather than a new main.go.
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"deltasched/internal/plot"
+)
+
+// Backend selects the evaluation engine(s) a scenario point runs
+// against. It is a bit set: Both = Analytic | Sim.
+type Backend int
+
+const (
+	// Analytic evaluates points with the paper's network-calculus bounds
+	// (internal/core).
+	Analytic Backend = 1 << iota
+	// Sim evaluates points empirically with the discrete-time simulator
+	// (internal/sim), reusing per-node probes for node-level summaries.
+	Sim
+)
+
+// Both runs the analytic bound and the simulator on the same points, for
+// bound-versus-empirical comparisons.
+const Both = Analytic | Sim
+
+// ParseBackend maps the -backend flag values analytic|sim|both.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "analytic":
+		return Analytic, nil
+	case "sim":
+		return Sim, nil
+	case "both":
+		return Both, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want analytic, sim or both)", s)
+	}
+}
+
+// String renders the flag spelling of a backend set.
+func (b Backend) String() string {
+	switch b {
+	case Analytic:
+		return "analytic"
+	case Sim:
+		return "sim"
+	case Both:
+		return "both"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Has reports whether every engine in x is enabled in b.
+func (b Backend) Has(x Backend) bool { return b&x == x }
+
+// Param documents one configuration knob of a scenario: the schema the
+// registry listing prints and the contract for Config keys.
+type Param struct {
+	Name    string // Config key (and conventionally the CLI flag name)
+	Kind    string // "int", "float", "bool" or "string"
+	Default string // human-readable default
+	Help    string
+}
+
+// Config carries a scenario's resolved parameter values, keyed by Param
+// name. CLIs build it from their flags; typed getters apply defaults for
+// absent keys. The "_progress" key is reserved for the runner, which
+// injects a progress callback for long single-point evaluations.
+type Config map[string]any
+
+// reserved Config key for the runner-injected progress callback.
+const progressKey = "_progress"
+
+// Float returns the named float parameter, or def when unset.
+func (c Config) Float(name string, def float64) float64 {
+	if v, ok := c[name].(float64); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the named int parameter, or def when unset.
+func (c Config) Int(name string, def int) int {
+	if v, ok := c[name].(int); ok {
+		return v
+	}
+	return def
+}
+
+// Int64 returns the named int64 parameter, or def when unset.
+func (c Config) Int64(name string, def int64) int64 {
+	if v, ok := c[name].(int64); ok {
+		return v
+	}
+	return def
+}
+
+// Bool returns the named bool parameter, or def when unset.
+func (c Config) Bool(name string, def bool) bool {
+	if v, ok := c[name].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// Str returns the named string parameter, or def when unset.
+func (c Config) Str(name, def string) string {
+	if v, ok := c[name].(string); ok {
+		return v
+	}
+	return def
+}
+
+// WithProgress returns a copy of the config carrying a progress callback
+// for Evaluate implementations that report fine-grained progress (the
+// tandem simulation's slot loop). The original config is not modified.
+func (c Config) WithProgress(fn func(done, total int)) Config {
+	out := make(Config, len(c)+1)
+	for k, v := range c {
+		out[k] = v
+	}
+	out[progressKey] = fn
+	return out
+}
+
+// Progress returns the runner-injected progress callback, or nil.
+func (c Config) Progress() func(done, total int) {
+	fn, _ := c[progressKey].(func(done, total int))
+	return fn
+}
+
+// Point is one unit of work of a scenario run. The ID is deterministic —
+// the same scenario and config always enumerate the same IDs in the same
+// order — so it keys the resume checkpoint and makes re-runs comparable.
+// X and Series place the point in a figure; Data is a scenario-private
+// payload carrying whatever Evaluate needs beyond the ID.
+type Point struct {
+	ID     string
+	X      float64
+	Series string
+	Data   any
+}
+
+// Result is the outcome of evaluating one point. Analytic is the delay
+// bound in slots (NaN when the analytic engine did not run or the point
+// is infeasible); Sim carries named empirical metrics when the simulator
+// ran; Extra carries named analytic side results (optimizer internals);
+// Detail is a scenario-specific payload for rich CLI formatting.
+type Result struct {
+	Analytic float64
+	Extra    map[string]float64
+	Sim      map[string]float64
+	Detail   any
+}
+
+// Info is a scenario's registry card.
+type Info struct {
+	Name     string
+	Desc     string
+	Params   []Param
+	Backends Backend
+	// Sweep marks multi-point scalar sweeps: per-point results are a
+	// single float64, infeasible points are legitimate NaN data points,
+	// and completed points may be checkpointed and resumed. Single-shot
+	// scenarios (and scenarios with structured results) leave it false so
+	// infeasibility propagates as an error and resume never serves a
+	// stripped result.
+	Sweep bool
+}
+
+// Scenario is one registered workload.
+type Scenario interface {
+	// Info returns the registry card (name, parameter schema, backends).
+	Info() Info
+	// Points enumerates the work deterministically for a config.
+	Points(cfg Config) ([]Point, error)
+	// Evaluate computes one point against the selected backend(s).
+	Evaluate(ctx context.Context, cfg Config, pt Point, be Backend) (Result, error)
+}
+
+// Collect groups evaluated points into plot series by their Series
+// label, preserving first-appearance order and per-series point order.
+// The Y values are the analytic bounds.
+func Collect(pts []Point, rs []Result) []plot.Series {
+	var out []plot.Series
+	index := make(map[string]int)
+	for i, p := range pts {
+		j, ok := index[p.Series]
+		if !ok {
+			j = len(out)
+			index[p.Series] = j
+			out = append(out, plot.Series{Label: p.Series})
+		}
+		out[j].X = append(out[j].X, p.X)
+		out[j].Y = append(out[j].Y, rs[i].Analytic)
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseBackend(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Backend
+		err  bool
+	}{
+		{"analytic", Analytic, false},
+		{"sim", Sim, false},
+		{"both", Both, false},
+		{"", 0, true},
+		{"quantum", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBackend(tt.in)
+		if (err != nil) != tt.err || got != tt.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	if !Both.Has(Analytic) || !Both.Has(Sim) || Analytic.Has(Sim) {
+		t.Fatal("Backend.Has bit logic broken")
+	}
+	if Both.String() != "both" || Analytic.String() != "analytic" || Sim.String() != "sim" {
+		t.Fatal("Backend.String spelling changed")
+	}
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{
+		"fig1", "fig2", "fig3",
+		"scaling", "edf-gain", "recipe", "gamma-alpha", "region",
+		"path", "heteropath", "tandem",
+	} {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatalf("built-in scenario %q missing: %v", name, err)
+		}
+		if sc.Info().Name != name {
+			t.Fatalf("scenario %q reports name %q", name, sc.Info().Name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if len(Infos()) != len(names) {
+		t.Fatal("Infos and Names disagree")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register(singleScenario{info: Info{Name: "fig1"}})
+}
+
+func TestConfigGetters(t *testing.T) {
+	cfg := Config{"f": 1.5, "i": 3, "i64": int64(7), "b": true, "s": "x"}
+	if cfg.Float("f", 0) != 1.5 || cfg.Float("missing", 2.5) != 2.5 {
+		t.Fatal("Float getter")
+	}
+	if cfg.Int("i", 0) != 3 || cfg.Int("missing", 9) != 9 {
+		t.Fatal("Int getter")
+	}
+	if cfg.Int64("i64", 0) != 7 || cfg.Int64("missing", 8) != 8 {
+		t.Fatal("Int64 getter")
+	}
+	if !cfg.Bool("b", false) || cfg.Bool("missing", true) != true {
+		t.Fatal("Bool getter")
+	}
+	if cfg.Str("s", "") != "x" || cfg.Str("missing", "d") != "d" {
+		t.Fatal("Str getter")
+	}
+	if cfg.Progress() != nil {
+		t.Fatal("Progress must be nil when not injected")
+	}
+	called := false
+	cfg2 := cfg.WithProgress(func(done, total int) { called = true })
+	if cfg2.Progress() == nil {
+		t.Fatal("WithProgress lost the callback")
+	}
+	cfg2.Progress()(1, 2)
+	if !called {
+		t.Fatal("injected progress callback not invoked")
+	}
+	if cfg.Progress() != nil {
+		t.Fatal("WithProgress must not mutate the original config")
+	}
+}
+
+func TestFloatSweep(t *testing.T) {
+	got := FloatSweep(0.2, 0.6, 0.2)
+	want := []float64{0.2, 0.4, 0.6}
+	if len(got) != len(want) {
+		t.Fatalf("FloatSweep = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("FloatSweep[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntSweep(t *testing.T) {
+	got := IntSweep(1, 7, 3)
+	want := []int{1, 4, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IntSweep = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerFor(t *testing.T) {
+	tests := []struct {
+		name      string
+		wantDelta float64
+		wantErr   bool
+	}{
+		{"fifo", 0, false},
+		{"bmux", math.Inf(1), false},
+		{"sp", math.Inf(-1), false},
+		{"edf", -45, false},
+		{"gps", math.NaN(), false},
+		{"drr", math.NaN(), false},
+		{"wfq", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mk, delta, err := SchedulerFor(tt.name, 5, 50, 1, 1)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if tt.wantErr {
+				return
+			}
+			if mk == nil || mk(0) == nil {
+				t.Fatal("scheduler factory must produce schedulers")
+			}
+			if math.IsNaN(tt.wantDelta) != math.IsNaN(delta) {
+				t.Fatalf("delta = %g, want NaN-ness %v", delta, math.IsNaN(tt.wantDelta))
+			}
+			if !math.IsNaN(tt.wantDelta) && delta != tt.wantDelta {
+				t.Fatalf("delta = %g, want %g", delta, tt.wantDelta)
+			}
+		})
+	}
+}
+
+func TestValidateWeights(t *testing.T) {
+	if err := validateWeights(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateWeights(0, 1); err == nil {
+		t.Fatal("zero weight must be rejected")
+	}
+}
+
+func TestFigPointsDeterministic(t *testing.T) {
+	sc, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{"quick": true}
+	a, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("fig1 enumerated no points")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].X != b[i].X || a[i].Series != b[i].Series {
+			t.Fatalf("point %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	seen := make(map[string]bool, len(a))
+	for _, p := range a {
+		if p.ID == "" || seen[p.ID] {
+			t.Fatalf("point ID %q empty or duplicated", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestTandemBothBackends(t *testing.T) {
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{"H": 2, "C": 20.0, "n0": 5, "nc": 10, "slots": 2000, "eps": 1e-2}
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("tandem must be single-point, got %d", len(pts))
+	}
+	res, err := sc.Evaluate(context.Background(), cfg, pts[0], Both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Analytic) || res.Analytic <= 0 {
+		t.Fatalf("missing analytic bound: %g", res.Analytic)
+	}
+	if _, ok := res.Sim["sim_delay_quantile_slots"]; !ok {
+		t.Fatalf("missing empirical quantile: %v", res.Sim)
+	}
+	if _, ok := res.Sim["sim_violation_fraction"]; !ok {
+		t.Fatalf("combined run must report the violation fraction of the bound: %v", res.Sim)
+	}
+	det, ok := res.Detail.(TandemDetail)
+	if !ok {
+		t.Fatalf("tandem Detail has type %T", res.Detail)
+	}
+	if det.BoundLabel == "" || det.Stats.ThroughArrived <= 0 {
+		t.Fatalf("detail incomplete: %+v", det)
+	}
+
+	// Sim-only: no bound, still empirical metrics.
+	res, err = sc.Evaluate(context.Background(), cfg, pts[0], Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.Analytic) {
+		t.Fatalf("sim-only run computed a bound: %g", res.Analytic)
+	}
+	if _, ok := res.Sim["sim_violation_fraction"]; ok {
+		t.Fatal("sim-only run cannot know the bound's violation fraction")
+	}
+}
+
+func TestFigSimBackendProvisionsEDF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small simulation per point")
+	}
+	sc, err := Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{"quick": true, "slots": 500, "seed": int64(1)}
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick one EDF point: deriving deadlines needs the analytic bound even
+	// under the pure sim backend.
+	for _, pt := range pts {
+		sp := pt.Data
+		if sp == nil {
+			t.Fatal("fig point without sweep data")
+		}
+		if pt.Series == "EDF (d*0=d*c/2) H=2" {
+			res, err := sc.Evaluate(context.Background(), cfg, pt, Sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !math.IsNaN(res.Analytic) {
+				t.Fatalf("sim backend must not report the bound, got %g", res.Analytic)
+			}
+			if _, ok := res.Sim["sim_delay_quantile_slots"]; !ok {
+				t.Fatalf("EDF sim point has no quantile: %v", res.Sim)
+			}
+			return
+		}
+	}
+	t.Fatal("no EDF H=2 point enumerated")
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/measure"
+	"deltasched/internal/obs"
+	"deltasched/internal/sim"
+	"deltasched/internal/traffic"
+)
+
+// simSpec describes one tandem simulation run by the sim backend: the
+// paper's Fig. 1 topology with N0 through flows crossing H nodes and Nc
+// cross flows joining at each node.
+type simSpec struct {
+	Src      envelope.MMOO
+	H        int
+	C        float64
+	N0, Nc   int
+	MkSched  func(node int) sim.Scheduler
+	Slots    int
+	Seed     int64
+	Every    int // probe sampling stride; 0 disables the probe
+	Progress func(done, total int)
+}
+
+// runTandem executes the simulation and returns the through-flow delay
+// recorder, the run counters, and the per-node probe (nil when Every is
+// 0). The RNG is seeded deterministically so a (spec, seed) pair is
+// reproducible.
+func runTandem(ctx context.Context, spec simSpec) (*measure.DelayRecorder, sim.Stats, *obs.SimProbe, error) {
+	if spec.Slots <= 0 {
+		return nil, sim.Stats{}, nil, fmt.Errorf("%w: slots must be positive, got %d", core.ErrBadConfig, spec.Slots)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	through, err := traffic.NewMMOOAggregate(spec.Src, spec.N0, rng)
+	if err != nil {
+		return nil, sim.Stats{}, nil, err
+	}
+	cross := make([]traffic.Source, spec.H)
+	for i := range cross {
+		cs, err := traffic.NewMMOOAggregate(spec.Src, spec.Nc, rng)
+		if err != nil {
+			return nil, sim.Stats{}, nil, err
+		}
+		cross[i] = cs
+	}
+	tan := &sim.Tandem{
+		C:         spec.C,
+		Through:   through,
+		Cross:     cross,
+		MakeSched: spec.MkSched,
+		Ctx:       ctx,
+		Progress:  spec.Progress,
+	}
+	var probe *obs.SimProbe
+	if spec.Every > 0 {
+		probe = &obs.SimProbe{Every: spec.Every}
+		tan.Probe = probe
+	}
+	rec, stats, err := tan.Run(spec.Slots)
+	if err != nil {
+		return nil, sim.Stats{}, nil, err
+	}
+	return rec, stats, probe, nil
+}
+
+// SchedulerFor maps a scheduler name to a simulator scheduler factory and
+// the Δ_{0,c} constant that summarizes it for the analysis. GPS and DRR
+// are not Δ-schedulers; they report delta = NaN and the analytic backend
+// falls back to the BMUX bound (valid for any work-conserving
+// locally-FIFO discipline).
+func SchedulerFor(name string, d0, dc, w0, wc float64) (func(int) sim.Scheduler, float64, error) {
+	switch name {
+	case "fifo":
+		return func(int) sim.Scheduler { return sim.NewFIFO() }, 0, nil
+	case "bmux":
+		return func(int) sim.Scheduler { return sim.NewBMUX(sim.ThroughFlow) }, math.Inf(1), nil
+	case "sp":
+		return func(int) sim.Scheduler {
+			return sim.NewSP(map[core.FlowID]int{sim.ThroughFlow: 2, sim.CrossFlow: 1})
+		}, math.Inf(-1), nil
+	case "edf":
+		return func(int) sim.Scheduler {
+			return sim.NewEDF(map[core.FlowID]float64{sim.ThroughFlow: d0, sim.CrossFlow: dc})
+		}, d0 - dc, nil
+	case "gps":
+		return func(int) sim.Scheduler {
+			g, err := sim.NewGPS(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
+			if err != nil {
+				panic(err) // weights validated by validateWeights below
+			}
+			return g
+		}, math.NaN(), validateWeights(w0, wc)
+	case "drr":
+		return func(int) sim.Scheduler {
+			d, err := sim.NewDRR(map[core.FlowID]float64{sim.ThroughFlow: w0, sim.CrossFlow: wc})
+			if err != nil {
+				panic(err) // weights validated by validateWeights below
+			}
+			return d
+		}, math.NaN(), validateWeights(w0, wc)
+	default:
+		return nil, 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func validateWeights(w0, wc float64) error {
+	if w0 <= 0 || wc <= 0 {
+		return fmt.Errorf("gps weights must be positive (w0=%g, wc=%g)", w0, wc)
+	}
+	return nil
+}
+
+// simMetrics condenses a simulated delay distribution into the named
+// empirical metrics of a Result: the delay quantile at 1−simeps, the
+// observed maximum, and — when a finite analytic bound is available —
+// the empirical violation fraction of that bound.
+func simMetrics(dist measure.Distribution, stats sim.Stats, simeps, bound float64) map[string]float64 {
+	m := map[string]float64{
+		"sim_max_backlog_kbit":     stats.MaxBacklog,
+		"sim_through_arrived_kbit": stats.ThroughArrived,
+	}
+	if q, err := dist.Quantile(1 - simeps); err == nil {
+		m["sim_delay_quantile_slots"] = float64(q)
+	}
+	if mx, err := dist.Max(); err == nil {
+		m["sim_delay_max_slots"] = float64(mx)
+	}
+	if !math.IsNaN(bound) && !math.IsInf(bound, 0) {
+		m["sim_violation_fraction"] = dist.ViolationFraction(bound)
+	}
+	return m
+}

@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+	"deltasched/internal/measure"
+	"deltasched/internal/obs"
+	"deltasched/internal/sim"
+)
+
+// TandemDetail is the Detail payload of the tandem scenario: the
+// analytic optimizer result with its label (BMUX fallback for non-Δ
+// disciplines), and the raw simulation artifacts for CCDF printing and
+// per-node report summaries.
+type TandemDetail struct {
+	Res        core.Result
+	BoundLabel string
+	Delta      float64
+	Stats      sim.Stats
+	Dist       measure.Distribution
+	Probe      *obs.SimProbe
+}
+
+// tandemScenario is the netsim experiment: simulate the Fig. 1 tandem
+// under a configurable scheduler and, under -backend=both, check the
+// empirical delay tail against the analytic bound for the same point.
+type tandemScenario struct{}
+
+func (tandemScenario) Info() Info {
+	return Info{
+		Name: "tandem",
+		Desc: "discrete-time tandem simulation vs the analytic bound (the netsim experiment)",
+		Params: []Param{
+			{Name: "H", Kind: "int", Default: "3", Help: "path length (number of nodes)"},
+			{Name: "C", Kind: "float", Default: "20", Help: "link capacity per node [kbit/slot]"},
+			{Name: "n0", Kind: "int", Default: "30", Help: "number of through MMOO flows"},
+			{Name: "nc", Kind: "int", Default: "60", Help: "number of cross MMOO flows per node"},
+			{Name: "sched", Kind: "string", Default: "fifo", Help: "scheduler: fifo, bmux, sp, edf, gps, drr"},
+			{Name: "edf-d0", Kind: "float", Default: "5", Help: "EDF deadline of the through traffic [slots]"},
+			{Name: "edf-dc", Kind: "float", Default: "50", Help: "EDF deadline of the cross traffic [slots]"},
+			{Name: "gps-w0", Kind: "float", Default: "1", Help: "GPS weight of the through traffic"},
+			{Name: "gps-wc", Kind: "float", Default: "1", Help: "GPS weight of the cross traffic"},
+			{Name: "pktsize", Kind: "float", Default: "0", Help: "packet size for non-preemptive service (0 = fluid); fifo/bmux/sp/edf only"},
+			{Name: "slots", Kind: "int", Default: "200000", Help: "simulation length in slots"},
+			{Name: "seed", Kind: "int", Default: "1", Help: "RNG seed"},
+			{Name: "eps", Kind: "float", Default: "1e-2", Help: "violation probability for the analytical bound"},
+			{Name: "probe-every", Kind: "int", Default: "0", Help: "probe sampling stride in slots (0 disables the probe)"},
+		},
+		Backends: Both,
+	}
+}
+
+func (tandemScenario) Points(cfg Config) ([]Point, error) {
+	id := "tandem/" + cfg.Str("sched", "fifo") +
+		"/h=" + strconv.Itoa(cfg.Int("H", 3)) +
+		"/n0=" + strconv.Itoa(cfg.Int("n0", 30)) +
+		"/nc=" + strconv.Itoa(cfg.Int("nc", 60)) +
+		"/slots=" + strconv.Itoa(cfg.Int("slots", 200000)) +
+		"/seed=" + strconv.FormatInt(cfg.Int64("seed", 1), 10)
+	return []Point{{ID: id}}, nil
+}
+
+func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Backend) (Result, error) {
+	var (
+		h     = cfg.Int("H", 3)
+		c     = cfg.Float("C", 20)
+		n0    = cfg.Int("n0", 30)
+		nc    = cfg.Int("nc", 60)
+		sched = cfg.Str("sched", "fifo")
+		slots = cfg.Int("slots", 200000)
+		eps   = cfg.Float("eps", 1e-2)
+		pkt   = cfg.Float("pktsize", 0)
+	)
+	if slots <= 0 {
+		return Result{}, fmt.Errorf("%w: -slots must be positive, got %d", core.ErrBadConfig, slots)
+	}
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		return Result{}, fmt.Errorf("%w: -eps must be in (0,1), got %g", core.ErrBadConfig, eps)
+	}
+
+	src := envelope.PaperSource()
+	mkSched, delta, err := SchedulerFor(sched,
+		cfg.Float("edf-d0", 5), cfg.Float("edf-dc", 50),
+		cfg.Float("gps-w0", 1), cfg.Float("gps-wc", 1))
+	if err != nil {
+		return Result{}, err
+	}
+	if pkt > 0 {
+		if sched == "gps" || sched == "drr" {
+			return Result{}, fmt.Errorf("-pktsize applies to precedence schedulers only")
+		}
+		inner := mkSched
+		mkSched = func(node int) sim.Scheduler {
+			p, ok := inner(node).(*sim.Precedence)
+			if !ok {
+				return inner(node)
+			}
+			np, err := sim.NewNonPreemptive(p, pkt)
+			if err != nil {
+				panic(err) // packet size validated by the check above
+			}
+			return np
+		}
+	}
+
+	detail := TandemDetail{Delta: delta}
+	bound := math.NaN()
+	if be.Has(Analytic) {
+		// GPS and DRR are not Δ-schedulers; the BMUX bound still applies
+		// to any work-conserving locally-FIFO discipline and is reported
+		// instead.
+		detail.BoundLabel = "analytical bound"
+		if math.IsNaN(delta) {
+			delta = math.Inf(1)
+			detail.BoundLabel = "BMUX fallback bound (not a Δ-scheduler)"
+		}
+		build := func(a float64) (core.PathConfig, error) {
+			if err := ctx.Err(); err != nil {
+				return core.PathConfig{}, err
+			}
+			through, err := src.EBBAggregate(float64(n0), a)
+			if err != nil {
+				return core.PathConfig{}, err
+			}
+			cross, err := src.EBBAggregate(float64(nc), a)
+			if err != nil {
+				return core.PathConfig{}, err
+			}
+			return core.PathConfig{H: h, C: c, Through: through, Cross: cross, Delta0c: delta}, nil
+		}
+		res, err := core.OptimizeAlpha(build, eps, 1e-3, 50)
+		if err != nil {
+			return Result{}, fmt.Errorf("computing the bound: %w", err)
+		}
+		detail.Res = res
+		bound = res.D
+	}
+
+	out := Result{Analytic: bound}
+	if be.Has(Sim) {
+		rec, stats, probe, err := runTandem(ctx, simSpec{
+			Src:      src,
+			H:        h,
+			C:        c,
+			N0:       n0,
+			Nc:       nc,
+			MkSched:  mkSched,
+			Slots:    slots,
+			Seed:     cfg.Int64("seed", 1),
+			Every:    cfg.Int("probe-every", 0),
+			Progress: cfg.Progress(),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		detail.Stats = stats
+		detail.Dist = rec.Distribution()
+		detail.Probe = probe
+		out.Sim = simMetrics(detail.Dist, stats, eps, bound)
+	}
+	out.Detail = detail
+	return out, nil
+}
+
+func init() { Register(tandemScenario{}) }
