@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race stress cover bench figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
+.PHONY: all build test test-short race stress cover bench bench-json bench-smoke figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
 
 all: build test
 
@@ -28,6 +28,18 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record the benchmark trajectory: run the suite and write BENCH_PR4.json
+# with ns/op, B/op, allocs/op, custom metrics, and the git SHA. Prior
+# "after" numbers roll over to "before" so repeated runs diff across
+# commits; see DESIGN.md's Performance section for how to read the file.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# One-iteration pass over every benchmark: catches benchmarks that
+# panic or fail without paying for a timed run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate the paper's figures (Figs. 2-4) as tables, charts and CSV.
 figs:
@@ -68,6 +80,7 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
 # Profile a representative netsim run and show the hot functions.
@@ -75,6 +88,8 @@ profile:
 	$(GO) run ./cmd/netsim -slots 200000 -cpuprofile cpu.prof -report netsim-report.json
 	$(GO) tool pprof -top -nodecount=10 cpu.prof
 
+# Scratch bench JSONs (bench_*.json, BENCH_*.json.tmp) are removed; the
+# committed BENCH_PR4.json trajectory is kept.
 clean:
-	rm -f test_output.txt bench_output.txt \
+	rm -f test_output.txt bench_output.txt bench_*.txt bench_*.json BENCH_*.json.tmp \
 		cpu.prof mem.prof *.prof *.pprof trace.out netsim-report.json

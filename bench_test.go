@@ -96,7 +96,9 @@ func BenchmarkDelayBound(b *testing.B) {
 }
 
 // BenchmarkInnerMinimize measures the exact solver for the optimization
-// problem of Eq. (38) in isolation.
+// problem of Eq. (38) in isolation, through a reused core.Scratch — the
+// steady-state regime of the γ-sweeps, which must stay at 0 allocs/op
+// (pinned by internal/core's TestDelayBoundAtGammaAllocFree).
 func BenchmarkInnerMinimize(b *testing.B) {
 	cfg := core.PathConfig{
 		H:       20,
@@ -105,9 +107,14 @@ func BenchmarkInnerMinimize(b *testing.B) {
 		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
 		Delta0c: -5,
 	}
+	var s core.Scratch
+	if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil {
+		if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,7 +146,25 @@ func BenchmarkEffectiveBandwidth(b *testing.B) {
 // BenchmarkSimulatorSlots measures tandem simulation throughput in
 // slots/op for the Fig. 1 topology at moderate load.
 func BenchmarkSimulatorSlots(b *testing.B) {
-	tan := benchTandem(b)
+	tan := benchTandem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const slotsPerOp = 2000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tan.Run(slotsPerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(slotsPerOp, "slots/op")
+}
+
+// BenchmarkSimulatorSlotsCountAgg is BenchmarkSimulatorSlots with the
+// O(1)-per-slot ON-count aggregates instead of per-flow draws (ISSUE 4):
+// the same topology and the same arrival law, sampled with two binomial
+// draws per aggregate per slot instead of 210 Bernoulli draws.
+func BenchmarkSimulatorSlotsCountAgg(b *testing.B) {
+	tan := benchTandem(b, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	const slotsPerOp = 2000
 	for i := 0; i < b.N; i++ {
@@ -152,17 +177,24 @@ func BenchmarkSimulatorSlots(b *testing.B) {
 
 // benchTandem builds the Fig. 1 topology used by the simulator
 // benchmarks: 3 FIFO nodes, 30 through + 3×60 cross MMOO flows.
-func benchTandem(b *testing.B) *sim.Tandem {
+// countAgg selects the O(1) ON-count chain over per-flow draws.
+func benchTandem(b *testing.B, countAgg bool) *sim.Tandem {
 	b.Helper()
 	m := envelope.PaperSource()
 	rng := rand.New(rand.NewSource(9))
-	through, err := traffic.NewMMOOAggregate(m, 30, rng)
+	mkAgg := func(n int) (traffic.Source, error) {
+		if countAgg {
+			return traffic.NewMMOOCountAggregate(m, n, rng)
+		}
+		return traffic.NewMMOOAggregate(m, n, rng)
+	}
+	through, err := mkAgg(30)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cross := make([]traffic.Source, 3)
 	for i := range cross {
-		cs, err := traffic.NewMMOOAggregate(m, 60, rng)
+		cs, err := mkAgg(60)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,9 +211,10 @@ func benchTandem(b *testing.B) *sim.Tandem {
 // the pre-observability seed, measured at < 2% (one nil check per slot;
 // see DESIGN.md's Observability section).
 func BenchmarkNetworkRunInstrumented(b *testing.B) {
-	tan := benchTandem(b)
+	tan := benchTandem(b, false)
 	probe := &obs.SimProbe{}
 	tan.Probe = probe
+	b.ReportAllocs()
 	b.ResetTimer()
 	const slotsPerOp = 2000
 	for i := 0; i < b.N; i++ {
@@ -198,8 +231,9 @@ func BenchmarkNetworkRunInstrumented(b *testing.B) {
 // BenchmarkNetworkRunSampledProbe is the instrumented run at a 100-slot
 // sampling stride — the recommended setting for long production runs.
 func BenchmarkNetworkRunSampledProbe(b *testing.B) {
-	tan := benchTandem(b)
+	tan := benchTandem(b, false)
 	tan.Probe = &obs.SimProbe{Every: 100}
+	b.ReportAllocs()
 	b.ResetTimer()
 	const slotsPerOp = 2000
 	for i := 0; i < b.N; i++ {

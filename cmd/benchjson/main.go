@@ -1,0 +1,283 @@
+// Command benchjson runs the repository's benchmark suite and records
+// the results as a JSON trajectory file (BENCH_<tag>.json): for every
+// benchmark it stores ns/op, B/op, allocs/op and any custom metrics
+// (slots/op, ms-last-point, …) together with the git commit and the Go
+// toolchain, as an "after" entry next to the "before" entry it is
+// compared against.
+//
+// The "before" side comes from, in order of precedence:
+//
+//  1. -before <file>: a saved `go test -bench` text output (or a prior
+//     benchjson JSON file), parsed and embedded;
+//  2. the existing -out file: its "after" entries roll over to "before",
+//     so repeated `make bench-json` runs form a trajectory across
+//     commits;
+//  3. nothing: first run, before is empty.
+//
+// Example:
+//
+//	benchjson -out BENCH_PR4.json -before /tmp/bench_before.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark result: the standard testing.B outputs
+// plus any custom ReportMetric units.
+type Measurement struct {
+	Pkg         string             `json:"pkg"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry pairs the current run of one benchmark with the run it is
+// measured against.
+type Entry struct {
+	Before *Measurement `json:"before,omitempty"`
+	After  *Measurement `json:"after,omitempty"`
+}
+
+// File is the on-disk schema.
+type File struct {
+	Schema     string            `json:"schema"`
+	GitSHA     string            `json:"git_sha"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPU        string            `json:"cpu,omitempty"`
+	Command    string            `json:"command"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_PR4.json", "output JSON file")
+	before := fs.String("before", "", "baseline to embed: raw `go test -bench` text or a prior benchjson JSON (default: roll over the out file's after entries)")
+	bench := fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
+	benchtime := fs.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
+	pkgs := fs.String("packages", "./...", "packages to benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseline := map[string]*Measurement{}
+	switch {
+	case *before != "":
+		m, err := loadBaseline(*before)
+		if err != nil {
+			return fmt.Errorf("loading -before %s: %w", *before, err)
+		}
+		baseline = m
+	default:
+		if prev, err := readJSON(*out); err == nil {
+			for name, e := range prev.Benchmarks {
+				if e.After != nil {
+					baseline[name] = e.After
+				}
+			}
+		}
+	}
+
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmdArgs = append(cmdArgs, *pkgs)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+	after, cpu := parseBench(string(raw))
+	if len(after) == 0 {
+		return fmt.Errorf("no benchmark results in the go test output")
+	}
+
+	f := &File{
+		Schema:     "deltasched-bench/v1",
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		Command:    "go " + strings.Join(cmdArgs, " "),
+		Benchmarks: map[string]*Entry{},
+	}
+	for name, m := range after {
+		f.Benchmarks[name] = &Entry{Before: baseline[name], After: m}
+	}
+	// Benchmarks that disappeared since the baseline still carry their
+	// before entry, so renames and removals are visible in the file.
+	for name, m := range baseline {
+		if _, ok := f.Benchmarks[name]; !ok {
+			f.Benchmarks[name] = &Entry{Before: m}
+		}
+	}
+
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	printSummary(f)
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+	return nil
+}
+
+// loadBaseline accepts either a prior benchjson file (its after entries
+// become the baseline) or raw `go test -bench` text output.
+func loadBaseline(path string) (map[string]*Measurement, error) {
+	if f, err := readJSON(path); err == nil {
+		m := map[string]*Measurement{}
+		for name, e := range f.Benchmarks {
+			if e.After != nil {
+				m[name] = e.After
+			}
+		}
+		return m, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, _ := parseBench(string(raw))
+	if len(m) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return m, nil
+}
+
+func readJSON(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if f.Schema == "" || f.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: not a benchjson file", path)
+	}
+	return &f, nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` text output.
+// A line has the form
+//
+//	BenchmarkName[-P]  <iters>  <value> <unit>  [<value> <unit>]...
+//
+// interleaved with goos/goarch/pkg/cpu context lines. The -P GOMAXPROCS
+// suffix is stripped so names stay stable across machines.
+func parseBench(out string) (map[string]*Measurement, string) {
+	res := map[string]*Measurement{}
+	pkg, cpu := "", ""
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			cpu = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := &Measurement{Pkg: pkg, Iterations: iters}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			default:
+				if m.Metrics == nil {
+					m.Metrics = map[string]float64{}
+				}
+				m.Metrics[unit] = v
+			}
+		}
+		if ok && m.NsPerOp > 0 {
+			res[name] = m
+		}
+	}
+	return res, cpu
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// printSummary lists before→after ns/op with the speedup factor for
+// benchmarks present on both sides.
+func printSummary(f *File) {
+	names := make([]string, 0, len(f.Benchmarks))
+	for name := range f.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := f.Benchmarks[name]
+		switch {
+		case e.Before != nil && e.After != nil:
+			fmt.Printf("%-34s %14.4g → %-14.4g ns/op  (%.2fx)\n",
+				name, e.Before.NsPerOp, e.After.NsPerOp, e.Before.NsPerOp/e.After.NsPerOp)
+		case e.After != nil:
+			fmt.Printf("%-34s %14s → %-14.4g ns/op\n", name, "(new)", e.After.NsPerOp)
+		default:
+			fmt.Printf("%-34s %14.4g → %-14s\n", name, e.Before.NsPerOp, "(removed)")
+		}
+	}
+}

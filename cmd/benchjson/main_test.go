@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: deltasched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInnerMinimize          	  201354	      5936 ns/op	    1520 B/op	       8 allocs/op
+BenchmarkSimulatorSlots-8       	     312	   4141458 ns/op	      2000 slots/op	 1249456 B/op	   23507 allocs/op
+BenchmarkEffectiveBandwidth     	40131662	        31.21 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	deltasched	36.237s
+pkg: deltasched/internal/randx
+BenchmarkBinomialInversion      	 8043694	       147.6 ns/op	       0 B/op	       0 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	res, cpu := parseBench(sampleOut)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(res))
+	}
+	sim, ok := res["BenchmarkSimulatorSlots"] // -8 suffix stripped
+	if !ok {
+		t.Fatal("BenchmarkSimulatorSlots missing")
+	}
+	if sim.NsPerOp != 4141458 || sim.AllocsPerOp != 23507 || sim.BytesPerOp != 1249456 {
+		t.Errorf("SimulatorSlots = %+v", sim)
+	}
+	if sim.Metrics["slots/op"] != 2000 {
+		t.Errorf("slots/op = %v, want 2000", sim.Metrics["slots/op"])
+	}
+	if sim.Pkg != "deltasched" {
+		t.Errorf("pkg = %q", sim.Pkg)
+	}
+	if inv := res["BenchmarkBinomialInversion"]; inv.Pkg != "deltasched/internal/randx" {
+		t.Errorf("randx pkg = %q", inv.Pkg)
+	}
+	if eb := res["BenchmarkEffectiveBandwidth"]; eb.NsPerOp != 31.21 {
+		t.Errorf("fractional ns/op = %v", eb.NsPerOp)
+	}
+}
+
+func TestLoadBaselineText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "before.txt")
+	if err := os.WriteFile(path, []byte(sampleOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 {
+		t.Fatalf("loaded %d baselines, want 4", len(m))
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file must error")
+	}
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(empty); err == nil {
+		t.Error("benchless file must error")
+	}
+}

@@ -32,6 +32,7 @@ func run(args []string) error {
 		n0    = app.FS.Int("n0", 30, "number of through MMOO flows")
 		nc    = app.FS.Int("nc", 60, "number of cross MMOO flows per node")
 		sched = app.FS.String("sched", "fifo", "scheduler: fifo, bmux, sp, edf, gps, drr")
+		agg   = app.FS.String("agg", "per-source", "traffic aggregation: per-source or count (O(1) ON-count chain; same law, different RNG stream)")
 		edfD0 = app.FS.Float64("edf-d0", 5, "EDF deadline of the through traffic [slots]")
 		edfDc = app.FS.Float64("edf-dc", 50, "EDF deadline of the cross traffic [slots]")
 		gpsW0 = app.FS.Float64("gps-w0", 1, "GPS weight of the through traffic")
@@ -56,7 +57,7 @@ func run(args []string) error {
 		}
 		cfg := scenario.Config{
 			"H": *h, "C": *c, "n0": *n0, "nc": *nc,
-			"sched": *sched, "edf-d0": *edfD0, "edf-dc": *edfDc,
+			"sched": *sched, "agg": *agg, "edf-d0": *edfD0, "edf-dc": *edfDc,
 			"gps-w0": *gpsW0, "gps-wc": *gpsWc, "pktsize": *pkt,
 			"slots": *slots, "seed": *seed, "eps": *eps,
 			"probe-every": probeEvery,

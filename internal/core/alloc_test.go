@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"deltasched/internal/envelope"
+)
+
+// TestDelayBoundAtGammaAllocFree pins the γ-probe hot path at zero heap
+// allocations per call once the Scratch buffers are warm (ISSUE 4): the
+// grid + golden-section sweep inside DelayBound prices hundreds of γ
+// values per bound, so a single allocation here multiplies into tens of
+// thousands per figure point.
+func TestDelayBoundAtGammaAllocFree(t *testing.T) {
+	cfg := PathConfig{
+		H:       20,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: -5,
+	}
+	var s Scratch
+	if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Scratch.DelayBoundAtGamma allocates %g times per call at steady state, want 0", allocs)
+	}
+}
+
+// TestDelayBoundAtGammaAllocFreeAcrossSchedulers repeats the pin for the
+// other Δ regimes (FIFO, BMUX, strict priority), whose candidate
+// enumeration takes different branches of the inner solver.
+func TestDelayBoundAtGammaAllocFreeAcrossSchedulers(t *testing.T) {
+	base := PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+	}
+	for name, delta := range map[string]float64{
+		"fifo": 0,
+		"bmux": math.Inf(1),
+		"sp":   math.Inf(-1),
+		"edf":  7,
+	} {
+		cfg := base
+		cfg.Delta0c = delta
+		var s Scratch
+		if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.4); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := s.DelayBoundAtGamma(cfg, 1e-9, 0.4); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %g allocs per call at steady state, want 0", name, allocs)
+		}
+	}
+}
+
+// TestScratchResultMatchesPackageLevel guards the aliasing contract: the
+// scratch path must produce the same numbers as the package-level
+// functions (which run on a fresh Scratch), and reusing the Scratch for
+// a different configuration must not leak state between calls.
+func TestScratchResultMatchesPackageLevel(t *testing.T) {
+	cfgs := []PathConfig{
+		{H: 3, C: 50, Through: envelope.EBB{M: 1, Rho: 10, Alpha: 0.2},
+			Cross: envelope.EBB{M: 1, Rho: 20, Alpha: 0.2}, Delta0c: 0},
+		{H: 8, C: 100, Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+			Cross: envelope.EBB{M: 1, Rho: 35, Alpha: 0.1}, Delta0c: math.Inf(1)},
+		{H: 5, C: 80, Through: envelope.EBB{M: 1, Rho: 12, Alpha: 0.15},
+			Cross: envelope.EBB{M: 1, Rho: 30, Alpha: 0.15}, Delta0c: -3},
+	}
+	var s Scratch
+	for i, cfg := range cfgs {
+		want, err := DelayBound(cfg, 1e-6)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		got, err := s.DelayBound(cfg, 1e-6)
+		if err != nil {
+			t.Fatalf("cfg %d (scratch): %v", i, err)
+		}
+		if got.D != want.D || got.Gamma != want.Gamma || got.X != want.X || got.Sigma != want.Sigma {
+			t.Errorf("cfg %d: scratch result (D=%v γ=%v) differs from package-level (D=%v γ=%v)",
+				i, got.D, got.Gamma, want.D, want.Gamma)
+		}
+		if len(got.Theta) != len(want.Theta) {
+			t.Fatalf("cfg %d: theta length %d vs %d", i, len(got.Theta), len(want.Theta))
+		}
+		for j := range got.Theta {
+			if got.Theta[j] != want.Theta[j] {
+				t.Errorf("cfg %d: theta[%d] = %v, want %v", i, j, got.Theta[j], want.Theta[j])
+			}
+		}
+	}
+}

@@ -66,6 +66,27 @@ func (cfg PathConfig) GammaMax() float64 {
 	return (cfg.C - cfg.Cross.Rho - cfg.Through.Rho) / float64(cfg.H+1)
 }
 
+// Scratch carries the reusable buffers of the analytic hot path: the
+// candidate and θ vectors of the inner optimization and the per-node
+// bound list of the path assembly. Reusing one Scratch across calls
+// makes steady-state γ-sweeps allocation-free — the property the
+// optimizer benchmarks pin (see internal/core/alloc_test.go and
+// DESIGN.md's Performance section).
+//
+// Ownership rules: a Scratch is NOT safe for concurrent use, and the
+// Theta slice of a Result returned by a Scratch method aliases the
+// scratch buffer — it is valid only until the next call on the same
+// Scratch. Clone Theta to retain it, or use the package-level
+// DelayBound/DelayBoundAtGamma, which run on a fresh Scratch per call
+// and therefore hand the caller full ownership (and stay safe to call
+// from concurrent sweep workers).
+type Scratch struct {
+	cands  []float64
+	thetas []float64
+	bounds []envelope.ExpBound
+	memo   map[float64]float64 // γ → D within one DelayBound sweep
+}
+
 // DelayBound computes the probabilistic end-to-end delay bound
 // P(W > d) <= eps for the given path, numerically optimizing the free
 // rate-slack parameter γ as prescribed in Section IV. The EBB decay α is
@@ -73,6 +94,12 @@ func (cfg PathConfig) GammaMax() float64 {
 // effective bandwidth (MMOO sources) should additionally sweep α via
 // OptimizeAlpha.
 func DelayBound(cfg PathConfig, eps float64) (Result, error) {
+	return new(Scratch).DelayBound(cfg, eps)
+}
+
+// DelayBound is the scratch-reusing form of the package-level DelayBound;
+// see the Scratch ownership rules.
+func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -84,12 +111,25 @@ func DelayBound(cfg PathConfig, eps float64) (Result, error) {
 		return Result{}, fmt.Errorf("%w: rho=%g, rho_c=%g, C=%g", ErrUnstable, cfg.Through.Rho, cfg.Cross.Rho, cfg.C)
 	}
 
+	// The γ-memo catches re-probes of the same slack: the golden-section
+	// bracket collapses below float spacing in its last iterations, and the
+	// post-refinement fallback re-prices the grid winner. Cleared, not
+	// reallocated, so steady-state sweeps stay allocation-free.
+	if s.memo == nil {
+		s.memo = make(map[float64]float64, 128)
+	} else {
+		clear(s.memo)
+	}
 	eval := func(g float64) float64 {
-		r, err := DelayBoundAtGamma(cfg, eps, g)
-		if err != nil {
-			return math.Inf(1)
+		if d, ok := s.memo[g]; ok {
+			return d
 		}
-		return r.D
+		d := math.Inf(1)
+		if r, err := s.delayBoundAtGamma(cfg, eps, g); err == nil {
+			d = r.D
+		}
+		s.memo[g] = d
+		return d
 	}
 
 	// Coarse grid, then golden-section refinement around the best cell.
@@ -107,31 +147,45 @@ func DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	lo := math.Max(bestG-gmax/float64(gridN+1), gmax*1e-9)
 	hi := math.Min(bestG+gmax/float64(gridN+1), gmax*(1-1e-9))
 	g := goldenMin(eval, lo, hi, 60)
-	res, err := DelayBoundAtGamma(cfg, eps, g)
+	res, err := s.delayBoundAtGamma(cfg, eps, g)
 	if err != nil {
 		return Result{}, err
 	}
 	if res.D > bestD { // golden refinement should never lose to the grid
-		return DelayBoundAtGamma(cfg, eps, bestG)
+		return s.delayBoundAtGamma(cfg, eps, bestG)
 	}
 	return res, nil
 }
 
 // DelayBoundAtGamma computes the delay bound for a fixed rate slack γ.
 func DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
+	return new(Scratch).DelayBoundAtGamma(cfg, eps, gamma)
+}
+
+// DelayBoundAtGamma is the scratch-reusing form of the package-level
+// DelayBoundAtGamma; see the Scratch ownership rules. At steady state
+// (buffers warmed up) it performs no heap allocations.
+func (s *Scratch) DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	return s.delayBoundAtGamma(cfg, eps, gamma)
+}
+
+// delayBoundAtGamma is DelayBoundAtGamma after configuration validation:
+// the γ-sweep of DelayBound validates once at entry and then prices every
+// probe through here.
+func (s *Scratch) delayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
 	if gamma <= 0 || gamma >= cfg.GammaMax() {
 		return Result{}, badConfig("gamma %g outside (0, %g)", gamma, cfg.GammaMax())
 	}
-	bound, err := pathBound(cfg.H, cfg.Through, cfg.Cross, gamma, math.IsInf(cfg.Delta0c, -1))
+	bound, err := s.pathBound(cfg.H, cfg.Through, cfg.Cross, gamma, math.IsInf(cfg.Delta0c, -1))
 	if err != nil {
 		return Result{}, err
 	}
 	sigma := bound.SigmaFor(eps)
-	d, x, thetas := innerMinimize(cfg.H, cfg.C, gamma, cfg.Cross.Rho, cfg.Delta0c, sigma)
-	return Result{D: d, Sigma: sigma, Gamma: gamma, X: x, Theta: thetas, Bound: bound}, nil
+	d, x := s.innerMinimize(cfg.H, cfg.C, gamma, cfg.Cross.Rho, cfg.Delta0c, sigma)
+	return Result{D: d, Sigma: sigma, Gamma: gamma, X: x, Theta: s.thetas, Bound: bound}, nil
 }
 
 // pathBound assembles the end-to-end bounding function: the network
@@ -141,35 +195,44 @@ func DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
 // bound via Eq. (33). For H=1 and the homogeneous M=M_c=1 case this
 // reproduces the paper's closed form Eq. (34), which the tests verify.
 //
+// The EBB→sample-path conversion (envelope.EBB.SamplePath) is inlined
+// here without its per-call revalidation: the traffic descriptions are
+// γ-independent and validated once per sweep at the DelayBound entry, so
+// a γ-probe pays only the two γ-dependent exponentials. The arithmetic is
+// expression-for-expression that of SamplePath, keeping results
+// bit-identical to the un-inlined form.
+//
 // When the cross traffic never precedes the through flow (Δ_{0,c} = −∞,
 // strict priority), Theorem 1 removes it from N_{−j}: the per-node service
 // guarantee is deterministic and only the through envelope's bound is
 // paid.
-func pathBound(h int, through, cross envelope.EBB, gamma float64, excludeCross bool) (envelope.ExpBound, error) {
-	_, bg, err := through.SamplePath(gamma)
-	if err != nil {
-		return envelope.ExpBound{}, err
-	}
+func (s *Scratch) pathBound(h int, through, cross envelope.EBB, gamma float64, excludeCross bool) (envelope.ExpBound, error) {
+	bg := envelope.ExpBound{M: through.M / (1 - math.Exp(-through.Alpha*gamma)), Alpha: through.Alpha}
 	if excludeCross {
 		return bg, nil
 	}
-	_, bc, err := cross.SamplePath(gamma)
-	if err != nil {
-		return envelope.ExpBound{}, err
-	}
-	bounds := make([]envelope.ExpBound, 0, h+1)
-	bounds = append(bounds, bg)
+	bc := envelope.ExpBound{M: cross.M / (1 - math.Exp(-cross.Alpha*gamma)), Alpha: cross.Alpha}
+	s.bounds = append(s.bounds[:0], bg)
 	// Node H enters plainly; nodes 1..H−1 carry the extra union-bound sum
 	// Σ_{j>=0} ε(σ + jγ) = ε(σ)/(1−e^{−αγ}) from the convolution theorem.
-	bounds = append(bounds, bc)
+	s.bounds = append(s.bounds, bc)
 	if h > 1 {
 		q := 1 - math.Exp(-bc.Alpha*gamma)
 		per := envelope.ExpBound{M: bc.M / q, Alpha: bc.Alpha}
 		for i := 1; i < h; i++ {
-			bounds = append(bounds, per)
+			s.bounds = append(s.bounds, per)
 		}
 	}
-	return envelope.Merge(bounds...)
+	return envelope.Merge(s.bounds...)
+}
+
+// innerMinimize solves the optimization problem of Eq. (38) on a fresh
+// Scratch, returning a caller-owned θ vector. Hot loops use the Scratch
+// method directly.
+func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64, thetas []float64) {
+	var s Scratch
+	d, xOpt = s.innerMinimize(h, c, gamma, rhoc, delta, sigma)
+	return d, xOpt, s.thetas
 }
 
 // innerMinimize solves the optimization problem of Eq. (38):
@@ -180,12 +243,13 @@ func pathBound(h int, through, cross envelope.EBB, gamma float64, excludeCross b
 //
 // exactly: each θ^h(X) is piecewise linear in X with closed-form pieces,
 // so d(X) is piecewise linear and its minimum sits on a breakpoint, all of
-// which are enumerated. Returns the optimal d, X and θ.
-func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64, thetas []float64) {
+// which are enumerated. Returns the optimal d and X; the optimal θ^1..θ^H
+// are left in s.thetas.
+func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64) {
 	beta := rhoc + gamma // rate of the cross sample-path envelope
 
 	// Candidate breakpoints of d(X).
-	cands := []float64{0}
+	cands := append(s.cands[:0], 0)
 	for i := 1; i <= h; i++ {
 		ch := c - float64(i-1)*gamma
 		switch {
@@ -208,6 +272,7 @@ func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64
 			}
 		}
 	}
+	s.cands = cands
 
 	best := math.Inf(1)
 	for _, x := range cands {
@@ -230,11 +295,15 @@ func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64
 			xOpt = x
 		}
 	}
-	thetas = make([]float64, h)
-	for i := 1; i <= h; i++ {
-		thetas[i-1] = thetaAt(c-float64(i-1)*gamma, beta, delta, sigma, xOpt)
+	if cap(s.thetas) < h {
+		s.thetas = make([]float64, h)
+	} else {
+		s.thetas = s.thetas[:h]
 	}
-	return best, xOpt, thetas
+	for i := 1; i <= h; i++ {
+		s.thetas[i-1] = thetaAt(c-float64(i-1)*gamma, beta, delta, sigma, xOpt)
+	}
+	return best, xOpt
 }
 
 // thetaAt returns θ^h(X): the smallest θ >= 0 with
@@ -369,18 +438,28 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 	// An eval error normally just marks α infeasible (+Inf objective), but
 	// a cancelled context is not an infeasibility statement — it must
 	// surface as itself, or an interrupt would masquerade as ErrUnstable.
+	//
+	// Each α is priced at most once: eval is typically a full γ-optimized
+	// DelayBound, and the sweep legitimately revisits α values — the
+	// golden-section bracket collapses below float spacing in its last
+	// iterations, and the post-refinement check re-prices the incumbent —
+	// so repeats are served from the memo instead of re-running the sweep.
 	var ctxErr error
+	memo := make(map[float64]float64, 96)
 	f := func(a float64) float64 {
+		if v, ok := memo[a]; ok {
+			return v
+		}
 		v, err := eval(a)
 		if err != nil {
 			if ctxErr == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 				ctxErr = err
 			}
-			return math.Inf(1)
+			v = math.Inf(1)
+		} else if math.IsNaN(v) {
+			v = math.Inf(1)
 		}
-		if math.IsNaN(v) {
-			return math.Inf(1)
-		}
+		memo[a] = v
 		return v
 	}
 	const gridN = 40
@@ -414,21 +493,34 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 
 // OptimizeAlpha is OptimizeAlphaFunc specialized to DelayBound: build(α)
 // supplies the path description at each α and the best bound is returned.
+// The winning Result is captured during the sweep itself — the sweep
+// already priced every α, so no post-sweep build+DelayBound re-run is
+// needed — and all sweep evaluations share one Scratch, so the γ-probes
+// inside each DelayBound are allocation-free.
 func OptimizeAlpha(build func(alpha float64) (PathConfig, error), eps, alphaLo, alphaHi float64) (Result, error) {
+	var s Scratch
+	results := make(map[float64]Result, 96)
 	a, _, err := OptimizeAlphaFunc(func(alpha float64) (float64, error) {
 		cfg, err := build(alpha)
 		if err != nil {
 			return 0, err
 		}
-		r, err := DelayBound(cfg, eps)
+		r, err := s.DelayBound(cfg, eps)
 		if err != nil {
 			return 0, err
 		}
+		r.Theta = append([]float64(nil), r.Theta...) // un-alias from the shared scratch
+		results[alpha] = r
 		return r.D, nil
 	}, alphaLo, alphaHi)
 	if err != nil {
 		return Result{}, err
 	}
+	if r, ok := results[a]; ok {
+		return r, nil
+	}
+	// Unreachable in practice — OptimizeAlphaFunc only returns an α it
+	// evaluated — but recompute rather than trust that invariant blindly.
 	cfg, err := build(a)
 	if err != nil {
 		return Result{}, err

@@ -104,6 +104,62 @@ func (m MMOO) EBBAggregate(n, s float64) (EBB, error) {
 	return EBB{M: 1, Rho: n * eb, Alpha: s}, nil
 }
 
+// EBMemo prices a fixed MMOO source with a one-entry effective-bandwidth
+// cache. The α-sweeps of internal/core evaluate the through and the
+// cross aggregate of the *same* source at the same decay s back to back
+// — EffectiveBandwidth(s) does not depend on the flow count — so the
+// second (and any further) Perron-root evaluation at an α becomes a
+// lookup: each α is priced once per sweep, not once per aggregate. The
+// source is validated once at construction, removing the per-call
+// revalidation of MMOO.EBBAggregate from the sweep as well.
+//
+// An EBMemo is not safe for concurrent use; sweep workers should each
+// own one (they are cheap to create).
+type EBMemo struct {
+	m      MMOO
+	lastS  float64
+	lastEB float64
+	primed bool
+}
+
+// NewEBMemo validates the source and returns a memoizing pricer.
+func NewEBMemo(m MMOO) (*EBMemo, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &EBMemo{m: m}, nil
+}
+
+// Source returns the wrapped model.
+func (c *EBMemo) Source() MMOO { return c.m }
+
+// EffectiveBandwidth returns m.EffectiveBandwidth(s), cached for
+// consecutive calls with equal s.
+func (c *EBMemo) EffectiveBandwidth(s float64) (float64, error) {
+	if c.primed && s == c.lastS {
+		return c.lastEB, nil
+	}
+	eb, err := c.m.EffectiveBandwidth(s)
+	if err != nil {
+		return 0, err
+	}
+	c.lastS, c.lastEB, c.primed = s, eb, true
+	return eb, nil
+}
+
+// EBBAggregate mirrors MMOO.EBBAggregate through the cache: n iid copies
+// at decay s yield A ∼ (M=1, ρ=n·eb(s), α=s).
+func (c *EBMemo) EBBAggregate(n, s float64) (EBB, error) {
+	if n < 0 {
+		return EBB{}, fmt.Errorf("envelope: aggregate size must be >= 0, got %g", n)
+	}
+	eb, err := c.EffectiveBandwidth(s)
+	if err != nil {
+		return EBB{}, err
+	}
+	return EBB{M: 1, Rho: n * eb, Alpha: s}, nil
+}
+
 // FlowsForUtilization returns the number of flows n such that n·MeanRate
 // equals util·capacity — how the paper translates a utilization target
 // into a flow count.

@@ -1,0 +1,184 @@
+// Package randx provides exact samplers for distributions the standard
+// library lacks, built on math/rand. The binomial sampler is the engine
+// behind the count-based MMOO aggregates in internal/traffic: one
+// Bin(n, p) draw replaces n Bernoulli draws in the simulator's slot loop.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// invThreshold is the n·p value above which Binomial switches from
+// sequential inversion (expected O(n·p) iterations) to the BTPE-style
+// transformed-rejection sampler (expected O(1) iterations).
+const invThreshold = 10
+
+// Binomial draws an exact Bin(n, p) variate: the number of successes in n
+// independent trials of probability p. It panics on n < 0 and on p
+// outside [0, 1] (including NaN) — both indicate a caller bug, matching
+// the math/rand convention for invalid arguments.
+//
+// Two exact methods are used: sequential inversion of the CDF when the
+// mean n·p is small (the common case for bursty on/off traffic, where
+// per-slot transition counts are near zero), and Hörmann's BTRS
+// transformed-rejection algorithm — the compact descendant of BTPE — when
+// the mean is large. Both operate on p <= 1/2 and reflect otherwise, so
+// the expected work is bounded by min(p, 1−p)·n.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n < 0 {
+		panic("randx: Binomial needs n >= 0")
+	}
+	if !(p >= 0 && p <= 1) { // catches NaN
+		panic("randx: Binomial needs p in [0, 1]")
+	}
+	switch {
+	case n == 0 || p == 0:
+		return 0
+	case p == 1:
+		return n
+	case p > 0.5:
+		// Reflection keeps the success probability, and hence the expected
+		// amount of work, at or below 1/2.
+		return n - Binomial(rng, n, 1-p)
+	}
+	nf := float64(n)
+	if nf*p < invThreshold {
+		return binomialInversion(rng, n, p)
+	}
+	return binomialBTRS(rng, nf, p)
+}
+
+// binomialInversion walks the CDF from k = 0 using the pmf recurrence
+// f(k+1) = f(k) · (n−k)/(k+1) · p/(1−p). With n·p < invThreshold the
+// starting mass (1−p)^n cannot underflow (n·log1p(−p) > −invThreshold/(1−p)
+// > −20 for p <= 1/2), so the walk is exact.
+func binomialInversion(rng *rand.Rand, n int, p float64) int {
+	odds := p / (1 - p)
+	f := math.Exp(float64(n) * math.Log1p(-p)) // (1-p)^n without pow-rounding
+	u := rng.Float64()
+	for k := 0; ; k++ {
+		if u < f || k == n {
+			return k
+		}
+		u -= f
+		f *= float64(n-k) / float64(k+1) * odds
+	}
+}
+
+// BinomialSampler draws Bin(n, p) variates for a fixed success
+// probability p and any n up to a fixed maximum, amortizing the
+// transcendental setup of Binomial: the inversion walk's starting mass
+// (1−p)^n is precomputed for every n at construction, so the hot path is
+// a pure multiply–add walk. Sample consumes the RNG exactly like
+// Binomial(rng, n, p) and returns bit-identical variates (pinned by
+// tests), so a sampler can be substituted for the function without
+// changing a simulation's stream.
+//
+// This is the per-slot engine of the count-based MMOO aggregates: each
+// aggregate draws from two fixed-p binomials (survivors and recruits)
+// whose n never exceeds the flow count. A sampler is not safe for
+// concurrent use with a shared rng, like math/rand itself.
+type BinomialSampler struct {
+	p    float64   // success probability as given
+	pc   float64   // min(p, 1−p): the probability the walk actually uses
+	odds float64   // pc/(1−pc) for the pmf recurrence
+	f0   []float64 // f0[m] = (1−pc)^m, the inversion start for Bin(m, pc)
+	refl bool      // p > 0.5: sample Bin(n, 1−p) and reflect
+}
+
+// NewBinomialSampler prepares a sampler for Bin(n, p) draws with
+// 0 <= n <= maxN. It panics under the same conditions as Binomial.
+func NewBinomialSampler(maxN int, p float64) *BinomialSampler {
+	if maxN < 0 {
+		panic("randx: NewBinomialSampler needs maxN >= 0")
+	}
+	if !(p >= 0 && p <= 1) { // catches NaN
+		panic("randx: NewBinomialSampler needs p in [0, 1]")
+	}
+	s := &BinomialSampler{p: p, pc: p, refl: p > 0.5}
+	if s.refl {
+		s.pc = 1 - p
+	}
+	if s.pc > 0 {
+		s.odds = s.pc / (1 - s.pc)
+		s.f0 = make([]float64, maxN+1)
+		for m := 0; m <= maxN; m++ {
+			// Same expression as binomialInversion, so the table entry is
+			// bit-identical to the value Binomial would compute for n = m.
+			s.f0[m] = math.Exp(float64(m) * math.Log1p(-s.pc))
+		}
+	}
+	return s
+}
+
+// Sample draws Bin(n, p). It panics if n is negative or exceeds the
+// sampler's maxN. The draw consumes the RNG exactly like
+// Binomial(rng, n, p).
+func (s *BinomialSampler) Sample(rng *rand.Rand, n int) int {
+	if n < 0 {
+		panic("randx: Sample needs n >= 0")
+	}
+	switch {
+	case n == 0 || s.p == 0:
+		return 0
+	case s.p == 1:
+		return n
+	}
+	nf := float64(n)
+	var k int
+	if nf*s.pc < invThreshold {
+		// binomialInversion with the precomputed starting mass.
+		f := s.f0[n]
+		u := rng.Float64()
+		for k = 0; ; k++ {
+			if u < f || k == n {
+				break
+			}
+			u -= f
+			f *= float64(n-k) / float64(k+1) * s.odds
+		}
+	} else {
+		k = binomialBTRS(rng, nf, s.pc)
+	}
+	if s.refl {
+		return n - k
+	}
+	return k
+}
+
+// binomialBTRS is Hörmann's transformed-rejection sampler BTRS (1993),
+// the "BTPE-style" accept–reject method: a table-mountain hat over the
+// binomial histogram with a cheap squeeze, requiring p <= 1/2 and
+// n·p >= invThreshold. Expected iterations are ~1.15 independent of n.
+func binomialBTRS(rng *rand.Rand, n, p float64) int {
+	spq := math.Sqrt(n * p * (1 - p))
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := n*p + 0.5
+	vr := 0.92 - 4.2/b
+	alpha := (2.83 + 5.1/b) * spq
+	lpq := math.Log(p / (1 - p))
+	m := math.Floor((n + 1) * p) // mode
+	lgM, _ := math.Lgamma(m + 1)
+	lgNM, _ := math.Lgamma(n - m + 1)
+	h := lgM + lgNM
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if k < 0 || k > n {
+			continue
+		}
+		if us >= 0.07 && v <= vr {
+			return int(k) // inside the squeeze: accept without logs
+		}
+		v = v * alpha / (a/(us*us) + b)
+		lgK, _ := math.Lgamma(k + 1)
+		lgNK, _ := math.Lgamma(n - k + 1)
+		if math.Log(v) <= h-lgK-lgNK+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Binomial(rng, 0, 0.3); got != 0 {
+		t.Errorf("Bin(0, 0.3) = %d, want 0", got)
+	}
+	if got := Binomial(rng, 17, 0); got != 0 {
+		t.Errorf("Bin(17, 0) = %d, want 0", got)
+	}
+	if got := Binomial(rng, 17, 1); got != 17 {
+		t.Errorf("Bin(17, 1) = %d, want 17", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := Binomial(rng, 1, 0.5); got != 0 && got != 1 {
+			t.Fatalf("Bin(1, 0.5) = %d outside {0,1}", got)
+		}
+	}
+}
+
+func TestBinomialPanicsOnBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		n    int
+		p    float64
+	}{
+		{"negative n", -1, 0.5},
+		{"negative p", 4, -0.1},
+		{"p above one", 4, 1.1},
+		{"NaN p", 4, math.NaN()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Binomial(%d, %g) did not panic", tc.n, tc.p)
+				}
+			}()
+			Binomial(rng, tc.n, tc.p)
+		})
+	}
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x, y := Binomial(a, 50, 0.3), Binomial(b, 50, 0.3)
+		if x != y {
+			t.Fatalf("draw %d: same seed gave %d and %d", i, x, y)
+		}
+	}
+}
+
+// TestBinomialMoments checks the sample mean and variance against n·p and
+// n·p·(1−p) across both sampling regimes (inversion and BTRS) and both
+// sides of the p = 1/2 reflection.
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.05},  // inversion, tiny mean
+		{30, 0.1},   // inversion (the MMOO aggregate regime)
+		{60, 0.9},   // reflected then inversion
+		{200, 0.3},  // BTRS
+		{500, 0.75}, // reflected then BTRS
+		{5000, 0.5}, // BTRS at the symmetry point
+	}
+	const draws = 200000
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(42))
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			k := Binomial(rng, tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Bin(%d, %g) = %d outside support", tc.n, tc.p, k)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		// The standard error of the sample mean is sqrt(var/draws); allow 5σ.
+		meanTol := 5 * math.Sqrt(wantVar/draws)
+		if math.Abs(mean-wantMean) > meanTol {
+			t.Errorf("Bin(%d, %g): mean %.4f, want %.4f ± %.4f", tc.n, tc.p, mean, wantMean, meanTol)
+		}
+		// Variance of the sample variance is ≈ (μ4 − σ⁴)/draws; a 10%%
+		// relative tolerance is > 20σ at these sample sizes.
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Bin(%d, %g): variance %.4f, want %.4f", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialDistribution runs a chi-square goodness-of-fit test of the
+// sampled histogram against the exact pmf, in both regimes.
+func TestBinomialDistribution(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{20, 0.2},  // inversion
+		{100, 0.4}, // BTRS
+		{40, 0.85}, // reflection + inversion
+	}
+	const draws = 100000
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(11))
+		counts := make([]int, tc.n+1)
+		for i := 0; i < draws; i++ {
+			counts[Binomial(rng, tc.n, tc.p)]++
+		}
+		// Exact pmf via the log-gamma form.
+		pmf := make([]float64, tc.n+1)
+		for k := 0; k <= tc.n; k++ {
+			lgN, _ := math.Lgamma(float64(tc.n) + 1)
+			lgK, _ := math.Lgamma(float64(k) + 1)
+			lgNK, _ := math.Lgamma(float64(tc.n-k) + 1)
+			pmf[k] = math.Exp(lgN - lgK - lgNK +
+				float64(k)*math.Log(tc.p) + float64(tc.n-k)*math.Log1p(-tc.p))
+		}
+		// Pool bins with expected count < 5 into the tails.
+		chi2, dof := 0.0, -1
+		pooledObs, pooledExp := 0.0, 0.0
+		for k := 0; k <= tc.n; k++ {
+			pooledObs += float64(counts[k])
+			pooledExp += pmf[k] * draws
+			if pooledExp < 5 && k < tc.n {
+				continue
+			}
+			diff := pooledObs - pooledExp
+			chi2 += diff * diff / pooledExp
+			dof++
+			pooledObs, pooledExp = 0, 0
+		}
+		if dof < 1 {
+			t.Fatalf("Bin(%d, %g): degenerate binning", tc.n, tc.p)
+		}
+		// P(χ²_k > k + 5√(2k)) < 1e-3 for the dof range exercised here.
+		limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+		if chi2 > limit {
+			t.Errorf("Bin(%d, %g): chi2 %.1f exceeds %.1f at dof %d", tc.n, tc.p, chi2, limit, dof)
+		}
+	}
+}
+
+func BenchmarkBinomialInversion(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Binomial(rng, 60, 0.011)
+	}
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Binomial(rng, 5000, 0.3)
+	}
+}
+
+// TestSamplerMatchesBinomial pins the substitution contract: a
+// BinomialSampler fed the same RNG state must return the same variate as
+// Binomial for every n up to its maximum, across both regimes and the
+// reflection, so swapping one in cannot change a seeded simulation.
+func TestSamplerMatchesBinomial(t *testing.T) {
+	for _, p := range []float64{0, 0.011, 0.1, 0.5, 0.9, 0.989, 1} {
+		const maxN = 80
+		s := NewBinomialSampler(maxN, p)
+		rngA := rand.New(rand.NewSource(7))
+		rngB := rand.New(rand.NewSource(7))
+		for rep := 0; rep < 50; rep++ {
+			for n := 0; n <= maxN; n++ {
+				want := Binomial(rngA, n, p)
+				got := s.Sample(rngB, n)
+				if got != want {
+					t.Fatalf("p=%g n=%d rep=%d: sampler drew %d, Binomial drew %d", p, n, rep, got, want)
+				}
+			}
+		}
+	}
+	// Large-mean draws route through BTRS on both sides.
+	s := NewBinomialSampler(5000, 0.3)
+	rngA := rand.New(rand.NewSource(8))
+	rngB := rand.New(rand.NewSource(8))
+	for rep := 0; rep < 200; rep++ {
+		if want, got := Binomial(rngA, 5000, 0.3), s.Sample(rngB, 5000); got != want {
+			t.Fatalf("BTRS regime rep %d: sampler drew %d, Binomial drew %d", rep, got, want)
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative maxN", func() { NewBinomialSampler(-1, 0.5) })
+	mustPanic("p out of range", func() { NewBinomialSampler(10, 1.5) })
+	mustPanic("NaN p", func() { NewBinomialSampler(10, math.NaN()) })
+	s := NewBinomialSampler(10, 0.5)
+	mustPanic("negative n", func() { s.Sample(rand.New(rand.NewSource(1)), -1) })
+	mustPanic("n beyond maxN", func() { s.Sample(rand.New(rand.NewSource(1)), 11) })
+}
+
+func BenchmarkBinomialSampler(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewBinomialSampler(60, 0.011)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng, 60)
+	}
+}

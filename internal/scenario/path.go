@@ -124,15 +124,20 @@ func evalPath(ctx context.Context, cfg Config, _ Backend) (Result, error) {
 	n0 := cfg.Float("n0", 100)
 	nc := cfg.Float("nc", 100)
 	eps := cfg.Float("eps", 1e-9)
+	// One effective-bandwidth evaluation per α for both aggregates.
+	memo, err := envelope.NewEBMemo(src)
+	if err != nil {
+		return Result{}, err
+	}
 	build := func(a float64) (core.PathConfig, error) {
 		if err := ctx.Err(); err != nil {
 			return core.PathConfig{}, err
 		}
-		through, err := src.EBBAggregate(n0, a)
+		through, err := memo.EBBAggregate(n0, a)
 		if err != nil {
 			return core.PathConfig{}, err
 		}
-		cross, err := src.EBBAggregate(nc, a)
+		cross, err := memo.EBBAggregate(nc, a)
 		if err != nil {
 			return core.PathConfig{}, err
 		}
@@ -317,17 +322,23 @@ func (n PathNode) Delta() (float64, error) {
 // configuration. A cancelled ctx aborts the α sweep.
 func HeteroBound(ctx context.Context, pf PathFile) (core.Result, error) {
 	src := pf.MMOO()
+	// All aggregates on the path share the source model; the memo prices
+	// each α once instead of once per node.
+	memo, err := envelope.NewEBMemo(src)
+	if err != nil {
+		return core.Result{}, err
+	}
 	build := func(alpha float64) (core.HeteroPath, error) {
 		if err := ctx.Err(); err != nil {
 			return core.HeteroPath{}, err
 		}
-		through, err := src.EBBAggregate(pf.ThroughFlows, alpha)
+		through, err := memo.EBBAggregate(pf.ThroughFlows, alpha)
 		if err != nil {
 			return core.HeteroPath{}, err
 		}
 		nodes := make([]core.NodeSpec, len(pf.Nodes))
 		for i, n := range pf.Nodes {
-			cross, err := src.EBBAggregate(n.CrossFlows, alpha)
+			cross, err := memo.EBBAggregate(n.CrossFlows, alpha)
 			if err != nil {
 				return core.HeteroPath{}, err
 			}

@@ -22,6 +22,7 @@ type simSpec struct {
 	H        int
 	C        float64
 	N0, Nc   int
+	CountAgg bool // drive aggregates by the O(1) ON-count chain instead of per-flow draws
 	MkSched  func(node int) sim.Scheduler
 	Slots    int
 	Seed     int64
@@ -38,13 +39,22 @@ func runTandem(ctx context.Context, spec simSpec) (*measure.DelayRecorder, sim.S
 		return nil, sim.Stats{}, nil, fmt.Errorf("%w: slots must be positive, got %d", core.ErrBadConfig, spec.Slots)
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	through, err := traffic.NewMMOOAggregate(spec.Src, spec.N0, rng)
+	// The two constructions sample the same aggregate law from different
+	// RNG streams: per-source consumes n draws per slot, the count chain
+	// two binomial draws (see internal/traffic).
+	mkAgg := func(n int) (traffic.Source, error) {
+		if spec.CountAgg {
+			return traffic.NewMMOOCountAggregate(spec.Src, n, rng)
+		}
+		return traffic.NewMMOOAggregate(spec.Src, n, rng)
+	}
+	through, err := mkAgg(spec.N0)
 	if err != nil {
 		return nil, sim.Stats{}, nil, err
 	}
 	cross := make([]traffic.Source, spec.H)
 	for i := range cross {
-		cs, err := traffic.NewMMOOAggregate(spec.Src, spec.Nc, rng)
+		cs, err := mkAgg(spec.Nc)
 		if err != nil {
 			return nil, sim.Stats{}, nil, err
 		}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -71,7 +70,7 @@ func (n *NonPreemptive) Serve(budget float64, out map[core.FlowID]float64) {
 		n.inner.backlog -= pkt
 		if c.bits <= 1e-12 {
 			n.inner.backlog += c.bits
-			heap.Pop(&n.inner.q)
+			n.inner.q.popMin()
 		}
 		n.residFlow = flow
 		n.residBits = pkt

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -93,7 +92,7 @@ func (s *SCED) Enqueue(f core.FlowID, slot int, bits float64) {
 	st.cum += bits
 	deadline := st.mini + st.cum/c.Rate
 	s.seq++
-	heap.Push(&s.q, chunk{k1: deadline, k2: float64(slot), flow: f, bits: bits, seq: s.seq})
+	s.q.push(chunk{k1: deadline, k2: float64(slot), flow: f, bits: bits, seq: s.seq})
 	s.back += bits
 }
 
@@ -108,7 +107,7 @@ func (s *SCED) Serve(budget float64, out map[core.FlowID]float64) {
 		budget -= take
 		if c.bits <= 1e-12 {
 			s.back += c.bits
-			heap.Pop(&s.q)
+			s.q.popMin()
 		}
 	}
 	if s.back < 0 {

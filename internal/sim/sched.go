@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -42,10 +41,18 @@ type chunk struct {
 	seq    int // admission sequence, final tie-breaker (stability)
 }
 
+// chunkHeap is a binary min-heap of chunks ordered by (k1, k2, flow,
+// seq). It reimplements container/heap's sift loops on the concrete type
+// because the interface{} boxing of heap.Push/heap.Pop allocated on
+// every enqueue and dequeue — several times per simulated slot, the
+// dominant allocation in the slot loop (see DESIGN.md's Performance
+// section). The algorithms are verbatim container/heap, so the heap
+// layout, and with it the serve order, is bit-identical to the boxed
+// version.
 type chunkHeap []chunk
 
 func (h chunkHeap) Len() int { return len(h) }
-func (h chunkHeap) Less(i, j int) bool {
+func (h chunkHeap) less(i, j int) bool {
 	if h[i].k1 != h[j].k1 {
 		return h[i].k1 < h[j].k1
 	}
@@ -57,14 +64,45 @@ func (h chunkHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h chunkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *chunkHeap) Push(x interface{}) { *h = append(*h, x.(chunk)) }
-func (h *chunkHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
+
+// push inserts a chunk and sifts it up (container/heap.Push without the
+// boxing).
+func (h *chunkHeap) push(c chunk) {
+	*h = append(*h, c)
+	q := *h
+	j := len(q) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+// popMin removes the minimum chunk q[0] (container/heap.Pop without the
+// boxing; callers read q[0] before popping, so nothing is returned).
+func (h *chunkHeap) popMin() {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	i := 0
+	for {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q.less(j2, j) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	*h = q[:n]
 }
 
 // Precedence is a generic Δ-scheduler executor: chunks are served in
@@ -146,7 +184,7 @@ func (p *Precedence) Enqueue(f core.FlowID, slot int, bits float64) {
 	}
 	k1, k2 := p.keyOf(f, slot)
 	p.seq++
-	heap.Push(&p.q, chunk{k1: k1, k2: k2, flow: f, bits: bits, seq: p.seq})
+	p.q.push(chunk{k1: k1, k2: k2, flow: f, bits: bits, seq: p.seq})
 	p.backlog += bits
 }
 
@@ -161,7 +199,7 @@ func (p *Precedence) Serve(budget float64, out map[core.FlowID]float64) {
 		budget -= take
 		if c.bits <= 1e-12 {
 			p.backlog += c.bits // absorb the fp residue
-			heap.Pop(&p.q)
+			p.q.popMin()
 		}
 	}
 	if p.backlog < 0 {

@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deltasched/internal/envelope"
+)
+
+// slotStats summarizes a per-slot emission sequence: mean, variance,
+// lag-1 autocovariance, and the empirical ON-count histogram (emissions
+// divided by the peak rate).
+type slotStats struct {
+	mean, variance, lag1 float64
+	hist                 []float64 // P(k flows ON), k = 0..n
+}
+
+func collectStats(t *testing.T, src Source, n int, peak float64, slots int) slotStats {
+	t.Helper()
+	xs := make([]float64, slots)
+	sum := 0.0
+	hist := make([]float64, n+1)
+	for i := range xs {
+		xs[i] = src.Next()
+		sum += xs[i]
+		k := int(math.Round(xs[i] / peak))
+		if k < 0 || k > n || math.Abs(xs[i]-float64(k)*peak) > 1e-9 {
+			t.Fatalf("slot %d: emission %g is not a multiple of peak %g in [0, %d]", i, xs[i], peak, n)
+		}
+		hist[k]++
+	}
+	s := slotStats{mean: sum / float64(slots), hist: hist}
+	for k := range hist {
+		hist[k] /= float64(slots)
+	}
+	for i := range xs {
+		d := xs[i] - s.mean
+		s.variance += d * d
+		if i+1 < len(xs) {
+			s.lag1 += d * (xs[i+1] - s.mean)
+		}
+	}
+	s.variance /= float64(slots)
+	s.lag1 /= float64(slots - 1)
+	return s
+}
+
+// TestCountAggregateParity is the acceptance test for the count-based
+// MMOO mode: over >= 1e5 slots the empirical mean rate, per-slot
+// variance, lag-1 autocovariance, and stationary ON-count distribution
+// of NewMMOOCountAggregate must match NewMMOOAggregate within tight
+// tolerances (both are also anchored to the exact analytic values, so a
+// compensating drift in both modes cannot slip through). Seeds are
+// fixed, so the test is deterministic; tolerances sit several standard
+// errors above the expected estimator noise at this horizon.
+func TestCountAggregateParity(t *testing.T) {
+	const (
+		n     = 60
+		slots = 300000
+	)
+	m := envelope.PaperSource()
+	perSource, err := NewMMOOAggregate(m, n, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := NewMMOOCountAggregate(m, n, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := collectStats(t, perSource, n, m.Peak, slots)
+	cs := collectStats(t, count, n, m.Peak, slots)
+
+	// Exact values: per-flow emissions are Peak·Bernoulli(π) with lag-1
+	// correlation r = p11+p22−1; n iid flows scale all three linearly.
+	pi := m.OnProbability()
+	r := m.P11 + m.P22 - 1
+	wantMean := float64(n) * m.Peak * pi
+	wantVar := float64(n) * m.Peak * m.Peak * pi * (1 - pi)
+	wantLag1 := wantVar * r
+
+	check := func(name string, got, other, want, relTol float64) {
+		t.Helper()
+		if math.Abs(got-other) > relTol*math.Abs(want) {
+			t.Errorf("%s: count %g vs per-source %g differ beyond %.0f%% of %g",
+				name, got, other, 100*relTol, want)
+		}
+		if math.Abs(got-want) > relTol*math.Abs(want) {
+			t.Errorf("%s: count %g vs exact %g beyond %.0f%%", name, got, want, 100*relTol)
+		}
+		if math.Abs(other-want) > relTol*math.Abs(want) {
+			t.Errorf("%s: per-source %g vs exact %g beyond %.0f%%", name, other, want, 100*relTol)
+		}
+	}
+	check("mean rate", cs.mean, ps.mean, wantMean, 0.02)
+	check("per-slot variance", cs.variance, ps.variance, wantVar, 0.06)
+	check("lag-1 autocovariance", cs.lag1, ps.lag1, wantLag1, 0.08)
+
+	// Stationary ON-count distribution: total-variation distance between
+	// the two empirical histograms, and of each against the exact
+	// stationary law Bin(n, π).
+	exact := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		lgN, _ := math.Lgamma(float64(n) + 1)
+		lgK, _ := math.Lgamma(float64(k) + 1)
+		lgNK, _ := math.Lgamma(float64(n-k) + 1)
+		exact[k] = math.Exp(lgN - lgK - lgNK + float64(k)*math.Log(pi) + float64(n-k)*math.Log1p(-pi))
+	}
+	tv := func(a, b []float64) float64 {
+		d := 0.0
+		for k := range a {
+			d += math.Abs(a[k] - b[k])
+		}
+		return d / 2
+	}
+	if d := tv(cs.hist, ps.hist); d > 0.05 {
+		t.Errorf("ON-count distribution: TV(count, per-source) = %g > 0.05", d)
+	}
+	if d := tv(cs.hist, exact); d > 0.05 {
+		t.Errorf("ON-count distribution: TV(count, Bin(n, pi)) = %g > 0.05", d)
+	}
+	if d := tv(ps.hist, exact); d > 0.05 {
+		t.Errorf("ON-count distribution: TV(per-source, Bin(n, pi)) = %g > 0.05", d)
+	}
+}
+
+func TestCountAggregateValidation(t *testing.T) {
+	m := envelope.PaperSource()
+	if _, err := NewMMOOCountAggregate(m, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative size must be rejected")
+	}
+	if _, err := NewMMOOCountAggregate(m, 5, nil); err == nil {
+		t.Error("nil RNG must be rejected")
+	}
+	if _, err := NewMMOOCountAggregate(envelope.MMOO{Peak: -1, P11: 0.9, P22: 0.9}, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid chain must be rejected")
+	}
+}
+
+func TestCountAggregateZeroFlows(t *testing.T) {
+	agg, err := NewMMOOCountAggregate(envelope.PaperSource(), 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := agg.Next(); v != 0 {
+			t.Fatalf("empty aggregate emitted %g", v)
+		}
+	}
+	if agg.Size() != 0 || agg.OnCount() != 0 {
+		t.Fatalf("empty aggregate reports size %d, on-count %d", agg.Size(), agg.OnCount())
+	}
+}
+
+// TestCountAggregateNextAllocFree pins the count-based hot path at zero
+// allocations per slot — the property the simulator's slot loop depends
+// on (ISSUE 4 satellite; see also the core kernel pins in
+// internal/core/alloc_test.go).
+func TestCountAggregateNextAllocFree(t *testing.T) {
+	agg, err := NewMMOOCountAggregate(envelope.PaperSource(), 60, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { agg.Next() }); allocs != 0 {
+		t.Errorf("CountAggregate.Next allocates %g times per slot, want 0", allocs)
+	}
+}

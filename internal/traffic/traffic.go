@@ -14,6 +14,7 @@ import (
 
 	"deltasched/internal/envelope"
 	"deltasched/internal/minplus"
+	"deltasched/internal/randx"
 )
 
 // Source generates per-slot arrivals.
@@ -109,6 +110,78 @@ func (a *Aggregate) Next() float64 {
 
 // Size returns the number of bundled flows.
 func (a *Aggregate) Size() int { return len(a.sources) }
+
+// CountAggregate simulates n iid two-state MMOO flows as a single Markov
+// chain on the number of currently-ON flows. Because the flows are iid,
+// the ON-count k is a sufficient statistic for the aggregate: each slot
+// emits k·Peak and the count evolves as
+//
+//	k' = Bin(k, P22) + Bin(n−k, 1−P11),
+//
+// i.e. the ON flows that stay ON plus the OFF flows that switch ON, two
+// independent binomial draws. The per-slot arrival process is equal in
+// distribution to NewMMOOAggregate's — exactly, not asymptotically — but
+// costs O(1) RNG draws per slot instead of O(n), which dominates the
+// simulator's slot loop at the paper's flow counts (210 flows in the
+// Fig. 1 benchmark topology).
+//
+// The RNG *stream* necessarily differs from the per-source aggregate
+// (two binomial draws consume different uniforms than n Bernoulli draws),
+// so seeded runs are not sample-path-identical across the two modes; use
+// NewMMOOAggregate when bit-exact legacy streams matter and this type
+// when throughput does. Statistical parity — mean rate, per-slot
+// variance, lag-1 autocovariance, stationary ON-count distribution — is
+// pinned by the tests.
+type CountAggregate struct {
+	model envelope.MMOO
+	rng   *rand.Rand
+	n     int
+	k     int // flows currently ON
+	// Fixed-p samplers with the (1−p)^n tables precomputed up to n: the
+	// slot loop draws without touching exp/log (the draws stay
+	// bit-identical to randx.Binomial).
+	stay *randx.BinomialSampler // Bin(k, P22): ON flows that remain ON
+	join *randx.BinomialSampler // Bin(n−k, 1−P11): OFF flows switching ON
+}
+
+// NewMMOOCountAggregate validates the chain and draws the initial ON
+// count from the stationary distribution Bin(n, OnProbability), matching
+// NewMMOOAggregate's warm start.
+func NewMMOOCountAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*CountAggregate, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("traffic: aggregate size must be >= 0, got %d", n)
+	}
+	if rng == nil {
+		return nil, errors.New("traffic: NewMMOOCountAggregate needs a *rand.Rand")
+	}
+	return &CountAggregate{
+		model: m,
+		rng:   rng,
+		n:     n,
+		k:     randx.Binomial(rng, n, m.OnProbability()),
+		stay:  randx.NewBinomialSampler(n, m.P22),
+		join:  randx.NewBinomialSampler(n, 1-m.P11),
+	}, nil
+}
+
+// Next implements Source.
+func (a *CountAggregate) Next() float64 {
+	out := float64(a.k) * a.model.Peak
+	stay := a.stay.Sample(a.rng, a.k)
+	join := a.join.Sample(a.rng, a.n-a.k)
+	a.k = stay + join
+	return out
+}
+
+// Size returns the number of modeled flows.
+func (a *CountAggregate) Size() int { return a.n }
+
+// OnCount returns the number of flows currently ON — the chain state,
+// exposed for the parity tests.
+func (a *CountAggregate) OnCount() int { return a.k }
 
 // Greedy traces a deterministic envelope exactly: cumulative emissions
 // after t slots equal E(t). It realizes the adversarial arrival pattern of
