@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/
 
 # Repeated race-detector runs of the concurrency-heavy tiers: flaky
 # cancellation or checkpoint races rarely show on a single pass.
@@ -29,12 +29,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Record the benchmark trajectory: run the suite and write BENCH_PR4.json
-# with ns/op, B/op, allocs/op, custom metrics, and the git SHA. Prior
-# "after" numbers roll over to "before" so repeated runs diff across
-# commits; see DESIGN.md's Performance section for how to read the file.
+# Record the benchmark trajectory: run the suite and write BENCH_PR5.json
+# with ns/op, B/op, allocs/op, custom metrics, and the git SHA, diffed
+# against the committed PR 4 baseline (-before). The file includes the
+# BenchmarkReplicatedTandem scaling curve (reps=8 at 1/2/4/8 workers);
+# see DESIGN.md's Performance section for how to read it.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -before BENCH_PR4.json
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or fail without paying for a timed run.
@@ -70,7 +71,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCurveOps -fuzztime=10s ./internal/minplus/
 	$(GO) test -run='^$$' -fuzz=FuzzPseudoInverse -fuzztime=10s ./internal/minplus/
 
-# CI gate: formatting, static analysis, race-sensitive packages, and a
+# CI gate: formatting, static analysis, race-sensitive packages (the
+# scenario tier carries the replication worker-count parity tests), and a
 # fuzz smoke test of the numeric kernels.
 check:
 	@unformatted=$$(gofmt -l cmd internal examples bench_test.go); \
@@ -79,7 +81,7 @@ check:
 	fi
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
@@ -89,7 +91,7 @@ profile:
 	$(GO) tool pprof -top -nodecount=10 cpu.prof
 
 # Scratch bench JSONs (bench_*.json, BENCH_*.json.tmp) are removed; the
-# committed BENCH_PR4.json trajectory is kept.
+# committed BENCH_PR*.json trajectories are kept.
 clean:
 	rm -f test_output.txt bench_output.txt bench_*.txt bench_*.json BENCH_*.json.tmp \
 		cpu.prof mem.prof *.prof *.pprof trace.out netsim-report.json

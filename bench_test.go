@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,6 +16,7 @@ import (
 	"deltasched/internal/experiments"
 	"deltasched/internal/minplus"
 	"deltasched/internal/obs"
+	"deltasched/internal/scenario"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
@@ -173,6 +176,43 @@ func BenchmarkSimulatorSlotsCountAgg(b *testing.B) {
 		}
 	}
 	b.ReportMetric(slotsPerOp, "slots/op")
+}
+
+// BenchmarkReplicatedTandem measures the replicated-execution layer
+// (ISSUE 5) end to end through the tandem scenario: a fig2-scale point
+// (Fig. 1 topology, count aggregates) with its slot budget split into 8
+// replications, run at 1/2/4/8 workers, against the reps=1 single run of
+// the same budget. On a machine with enough cores, reps=8 at 8 workers
+// approaches the per-replication wall-clock — the near-linear speedup
+// the replication layer exists for; the recorded curve is whatever the
+// benchmarking machine's core count allows.
+func BenchmarkReplicatedTandem(b *testing.B) {
+	sc, err := scenario.Get("tandem")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const totalSlots = 80000
+	run := func(b *testing.B, reps, workers int) {
+		cfg := scenario.Config{
+			"H": 3, "n0": 30, "nc": 60, "sched": "fifo", "agg": "count",
+			"slots": totalSlots, "reps": reps, "simworkers": workers, "seed": 9,
+		}
+		pts, err := sc.Points(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.Evaluate(context.Background(), cfg, pts[0], scenario.Sim); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(totalSlots, "slots/op")
+	}
+	b.Run("reps=1", func(b *testing.B) { run(b, 1, 1) })
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("reps=8/workers=%d", w), func(b *testing.B) { run(b, 8, w) })
+	}
 }
 
 // benchTandem builds the Fig. 1 topology used by the simulator

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"deltasched/internal/envelope"
+	"deltasched/internal/measure"
 	"deltasched/internal/runner"
 	"deltasched/internal/scenario"
 )
@@ -77,8 +78,16 @@ func run(args []string) error {
 
 		if a.Backend.Has(scenario.Sim) {
 			dist := det.Dist
-			fmt.Printf("simulated        : %d slots, %.4g kbit through traffic, max node backlog %.4g kbit\n",
-				*slots, det.Stats.ThroughArrived, det.Stats.MaxBacklog)
+			if det.Reps > 1 {
+				fmt.Printf("simulated        : %d replications x %d slots (disjoint seed streams), %.4g kbit through traffic, max node backlog %.4g kbit\n",
+					det.Reps, det.SlotsPerRep, det.Stats.ThroughArrived, det.Stats.MaxBacklog)
+			} else {
+				fmt.Printf("simulated        : %d slots, %.4g kbit through traffic, max node backlog %.4g kbit\n",
+					*slots, det.Stats.ThroughArrived, det.Stats.MaxBacklog)
+			}
+			if cf := dist.CensoredFraction(); cf > 0 {
+				fmt.Printf("censored mass    : %.3g of observed volume ran past the horizon\n", cf)
+			}
 			if q, err := dist.Quantile(0.5); err == nil {
 				fmt.Printf("delay median     : %d slots\n", q)
 			}
@@ -90,6 +99,13 @@ func run(args []string) error {
 			if mx, err := dist.Max(); err == nil {
 				fmt.Printf("delay max        : %d slots\n", mx)
 			}
+			if det.Reps > 1 {
+				if mean, half, err := measure.QuantileCI(det.PerRep, 1-*eps); err == nil {
+					fmt.Printf("delay p%-8.4g : %.4g ± %.4g slots (95%% CI over %d replications)\n",
+						100*(1-*eps), mean, half, det.Reps)
+					a.Sess.Report.SetBound("delay_quantile_ci_slots", half)
+				}
+			}
 		}
 		if a.Backend.Has(scenario.Analytic) {
 			fmt.Printf("%s : %.4g slots at eps=%.3g\n", det.BoundLabel, det.Res.D, *eps)
@@ -99,6 +115,12 @@ func run(args []string) error {
 			frac := det.Dist.ViolationFraction(det.Res.D)
 			fmt.Printf("empirical P(W>d) : %.3g  →  bound %s\n", frac, verdict(frac <= *eps))
 			a.Sess.Report.SetBound("empirical_violation_fraction", frac)
+			if det.Reps > 1 {
+				if mean, half, err := measure.ViolationFractionCI(det.PerRep, det.Res.D); err == nil {
+					fmt.Printf("P(W>d) 95%% CI    : %.3g ± %.3g over %d replications\n", mean, half, det.Reps)
+					a.Sess.Report.SetBound("empirical_violation_fraction_ci", half)
+				}
+			}
 		}
 
 		if a.Backend.Has(scenario.Sim) {

@@ -144,6 +144,12 @@ func printSimCheck(pts []scenario.Point, rs []scenario.Result, simeps float64) {
 		if v, ok := rs[i].Sim["sim_delay_quantile_slots"]; ok {
 			q = v
 		}
-		fmt.Printf("%-28s %10.4g %14.4g %16.4g\n", pt.Series, pt.X, rs[i].Analytic, q)
+		fmt.Printf("%-28s %10.4g %14.4g %16.4g", pt.Series, pt.X, rs[i].Analytic, q)
+		// Replicated runs carry a Student-t 95% half-width next to the
+		// pooled quantile.
+		if half, ok := rs[i].Sim["sim_delay_quantile_ci_slots"]; ok {
+			fmt.Printf("  ± %-8.4g", half)
+		}
+		fmt.Println()
 	}
 }

@@ -19,6 +19,20 @@ type DelayRecorder struct {
 	dep []float64 // D(t): cumulative departures after slot t
 }
 
+// NewDelayRecorder returns a recorder with capacity for the given number
+// of slots, so long runs append without regrowing the curve slices. The
+// hint is advisory: recording more slots still works, and the zero-value
+// DelayRecorder remains fully usable.
+func NewDelayRecorder(slots int) *DelayRecorder {
+	if slots < 0 {
+		slots = 0
+	}
+	return &DelayRecorder{
+		arr: make([]float64, 0, slots),
+		dep: make([]float64, 0, slots),
+	}
+}
+
 // Record appends one slot's cumulative totals. Totals must be
 // non-decreasing with dep <= arr (causality), up to a relative tolerance
 // that absorbs the floating-point drift of long fluid simulations.

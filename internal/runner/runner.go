@@ -31,6 +31,8 @@ type App struct {
 	resume     *bool
 	catalog    *bool
 	backendStr *string
+	reps       *int
+	simWorkers *int
 }
 
 // New creates an App and registers the flags every command shares:
@@ -43,9 +45,19 @@ func New(name string, def scenario.Backend) *App {
 	a.resume = a.FS.Bool("resume", false, "skip points already recorded in the -checkpoint file")
 	a.catalog = a.FS.Bool("scenarios", false, "print the scenario catalog and exit")
 	a.backendStr = a.FS.String("backend", def.String(), "evaluation backend: analytic, sim or both")
+	a.reps = a.FS.Int("reps", 1, "sim backend: independent replications per point (splits the slot budget across disjoint seed streams; reps>1 adds Student-t CI metrics)")
+	a.simWorkers = a.FS.Int("simworkers", 0, "sim backend: max concurrent replications per point (0 = all cores)")
 	a.obsFlags.Register(a.FS)
 	return a
 }
+
+// Reps returns the -reps flag value: independent sim replications per
+// point.
+func (a *App) Reps() int { return *a.reps }
+
+// SimWorkers returns the -simworkers flag value: the replication worker
+// pool bound (0 = GOMAXPROCS).
+func (a *App) SimWorkers() int { return *a.simWorkers }
 
 // ReportEnabled reports whether -report was set: commands use it to
 // enable expensive instrumentation (per-node probes) only when a report
@@ -136,6 +148,14 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 	if be&^info.Backends != 0 {
 		return nil, nil, fmt.Errorf("%w: scenario %q runs on backend %s, not %s",
 			core.ErrBadConfig, info.Name, info.Backends, be)
+	}
+
+	// The replication flags are run-engine knobs, not scenario parameters:
+	// inject them for every sim-capable run (before Points, so replicated
+	// point IDs carry their reps=R tag). Scenarios without a sim path
+	// ignore the keys.
+	if be.Has(scenario.Sim) {
+		cfg = cfg.With("reps", a.Reps()).With("simworkers", a.SimWorkers())
 	}
 
 	pts, err := sc.Points(cfg)

@@ -86,8 +86,10 @@ func (f figScenario) Info() Info {
 		Sweep:    true,
 		Params: []Param{
 			{Name: "quick", Kind: "bool", Default: "false", Help: "coarser sweep grids (fast preview)"},
-			{Name: "slots", Kind: "int", Default: "50000", Help: "sim backend: simulated slots per point"},
-			{Name: "seed", Kind: "int", Default: "1", Help: "sim backend: RNG seed"},
+			{Name: "slots", Kind: "int", Default: "50000", Help: "sim backend: slot budget per point (split across replications)"},
+			{Name: "reps", Kind: "int", Default: "1", Help: "sim backend: independent replications per point; reps>1 adds Student-t CI metrics"},
+			{Name: "simworkers", Kind: "int", Default: "0", Help: "sim backend: max concurrent replications per point (0 = all cores)"},
+			{Name: "seed", Kind: "int", Default: "1", Help: "sim backend: RNG seed (root of the replication seed stream)"},
 			{Name: "simeps", Kind: "float", Default: "0.01", Help: "sim backend: tail mass of the reported empirical quantile"},
 		},
 	}
@@ -133,20 +135,22 @@ func (f figScenario) Evaluate(ctx context.Context, cfg Config, pt Point, be Back
 		if err != nil {
 			return Result{}, err
 		}
-		rec, stats, _, err := runTandem(ctx, simSpec{
-			Src:     s.Source,
-			H:       sp.H,
-			C:       s.Capacity,
-			N0:      int(math.Round(sp.N0)),
-			Nc:      int(math.Round(sp.Nc)),
-			MkSched: mk,
-			Slots:   cfg.Int("slots", 50000),
-			Seed:    cfg.Int64("seed", 1),
+		rep, err := runReplicated(ctx, simSpec{
+			Src:        s.Source,
+			H:          sp.H,
+			C:          s.Capacity,
+			N0:         int(math.Round(sp.N0)),
+			Nc:         int(math.Round(sp.Nc)),
+			MkSched:    mk,
+			Slots:      cfg.Int("slots", 50000),
+			Seed:       cfg.Int64("seed", 1),
+			Reps:       cfg.Int("reps", 1),
+			SimWorkers: cfg.Int("simworkers", 0),
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		res.Sim = simMetrics(rec.Distribution(), stats, cfg.Float("simeps", 1e-2), bound)
+		res.Sim = simMetrics(rep, cfg.Float("simeps", 1e-2), bound)
 	}
 	return res, nil
 }

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"deltasched/internal/core"
+)
+
+// evalTandem runs the tandem scenario's sim backend with the given
+// replication settings and returns the metrics and detail.
+func evalTandem(t *testing.T, cfg Config) (map[string]float64, TandemDetail) {
+	t.Helper()
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Evaluate(context.Background(), cfg, pts[0], Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Sim, res.Detail.(TandemDetail)
+}
+
+// The determinism contract of the tentpole: for fixed (seed, reps) the
+// merged metrics are bit-identical regardless of how many workers run
+// the replications. Runs under -race in make check.
+func TestReplicatedWorkerInvariance(t *testing.T) {
+	base := Config{"H": 2, "n0": 5, "nc": 10, "slots": 8000, "reps": 4, "seed": 7}
+	many := runtime.NumCPU()
+	if many < 4 {
+		many = 4
+	}
+	m1, d1 := evalTandem(t, base.With("simworkers", 1))
+	mN, dN := evalTandem(t, base.With("simworkers", many))
+	if !reflect.DeepEqual(m1, mN) {
+		t.Fatalf("metrics differ between workers=1 and workers=%d:\n%v\nvs\n%v", many, m1, mN)
+	}
+	if !reflect.DeepEqual(d1.Dist, dN.Dist) {
+		t.Fatal("merged distributions differ between worker counts")
+	}
+	if !reflect.DeepEqual(d1.PerRep, dN.PerRep) {
+		t.Fatal("per-replication distributions differ between worker counts")
+	}
+	if d1.Stats != dN.Stats {
+		t.Fatalf("stats differ between worker counts: %+v vs %+v", d1.Stats, dN.Stats)
+	}
+}
+
+// Replications must run on disjoint seed streams: with four replications
+// of a bursty source, at least one pair of per-replication distributions
+// must differ (identical paths would mean seed collapse).
+func TestReplicatedSeedStreamsDisjoint(t *testing.T) {
+	_, det := evalTandem(t, Config{"H": 2, "n0": 5, "nc": 10, "slots": 8000, "reps": 4, "seed": 1})
+	if len(det.PerRep) != 4 {
+		t.Fatalf("expected 4 per-replication distributions, got %d", len(det.PerRep))
+	}
+	allEqual := true
+	for i := 1; i < len(det.PerRep); i++ {
+		if !reflect.DeepEqual(det.PerRep[0], det.PerRep[i]) {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		t.Fatal("all replications produced identical distributions — seed streams collapsed")
+	}
+}
+
+// reps=1 must keep the historical point ID and carry no CI metrics, so
+// existing checkpoints and goldens stay valid; reps>1 must tag the ID.
+func TestReplicatedPointID(t *testing.T) {
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sc.Points(Config{"reps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pts[0].ID, "reps=") {
+		t.Fatalf("reps=1 must keep the historical ID, got %s", pts[0].ID)
+	}
+	pts, err = sc.Points(Config{"reps": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pts[0].ID, "/reps=8") {
+		t.Fatalf("replicated point ID must carry the reps tag, got %s", pts[0].ID)
+	}
+}
+
+func TestReplicatedMetrics(t *testing.T) {
+	m, det := evalTandem(t, Config{"H": 2, "n0": 5, "nc": 10, "slots": 8000, "reps": 4, "seed": 3})
+	if det.Reps != 4 || det.SlotsPerRep != 2000 {
+		t.Fatalf("detail carries reps=%d slotsPerRep=%d, want 4 and 2000", det.Reps, det.SlotsPerRep)
+	}
+	for _, key := range []string{"sim_reps", "sim_censored_fraction", "sim_delay_quantile_ci_slots", "sim_delay_quantile_mean_slots"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("replicated metrics missing %q (have %v)", key, m)
+		}
+	}
+	if m["sim_reps"] != 4 {
+		t.Fatalf("sim_reps = %g, want 4", m["sim_reps"])
+	}
+
+	// Single runs keep the historical metric set plus the (new, always
+	// emitted) censored fraction — and no CI keys.
+	m, det = evalTandem(t, Config{"H": 2, "n0": 5, "nc": 10, "slots": 8000, "reps": 1, "seed": 3})
+	if det.Reps != 1 {
+		t.Fatalf("reps=1 detail carries reps=%d", det.Reps)
+	}
+	if _, ok := m["sim_censored_fraction"]; !ok {
+		t.Error("sim_censored_fraction must be emitted for single runs too")
+	}
+	for _, key := range []string{"sim_reps", "sim_delay_quantile_ci_slots", "sim_violation_fraction_ci"} {
+		if _, ok := m[key]; ok {
+			t.Errorf("single run must not emit %q", key)
+		}
+	}
+}
+
+// The aggregated slot progress over all replications must be monotonic
+// and finish exactly at reps × slots-per-replication.
+func TestReplicatedProgressAggregation(t *testing.T) {
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dones []int
+	total := 0
+	cfg := Config{"H": 2, "n0": 5, "nc": 10, "slots": 8000, "reps": 4, "simworkers": 2, "seed": 2}
+	cfg = cfg.WithProgress(func(done, tot int) {
+		dones = append(dones, done)
+		total = tot
+	})
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Evaluate(context.Background(), cfg, pts[0], Sim); err != nil {
+		t.Fatal(err)
+	}
+	if total != 8000 {
+		t.Fatalf("progress total %d, want 8000 (4 reps x 2000 slots)", total)
+	}
+	if len(dones) == 0 {
+		t.Fatal("no progress observed")
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] < dones[i-1] {
+			t.Fatalf("progress regressed: %v", dones)
+		}
+	}
+	if final := dones[len(dones)-1]; final != total {
+		t.Fatalf("final progress %d, want %d", final, total)
+	}
+}
+
+func TestReplicatedBadConfig(t *testing.T) {
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{"slots": 4, "reps": 8},
+		{"reps": 0},
+		{"reps": -1},
+	} {
+		pts, err := sc.Points(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Evaluate(context.Background(), cfg, pts[0], Sim); !errors.Is(err, core.ErrBadConfig) {
+			t.Fatalf("cfg %v must fail with ErrBadConfig, got %v", cfg, err)
+		}
+	}
+}
+
+// Cancellation must propagate into the replication pool.
+func TestReplicatedCancellation(t *testing.T) {
+	sc, err := Get("tandem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{"H": 2, "n0": 5, "nc": 10, "slots": 400000, "reps": 4, "seed": 1}
+	pts, err := sc.Points(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Evaluate(ctx, cfg, pts[0], Sim); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replicated run must surface context.Canceled, got %v", err)
+	}
+}

@@ -122,6 +122,18 @@ func (c Config) Str(name, def string) string {
 	return def
 }
 
+// With returns a copy of the config with one key set. The original
+// config is not modified, so callers can layer run-time values (the
+// runner's replication flags) over a CLI-built config.
+func (c Config) With(key string, v any) Config {
+	out := make(Config, len(c)+1)
+	for k, val := range c {
+		out[k] = val
+	}
+	out[key] = v
+	return out
+}
+
 // WithProgress returns a copy of the config carrying a progress callback
 // for Evaluate implementations that report fine-grained progress (the
 // tandem simulation's slot loop). The original config is not modified.

@@ -5,11 +5,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"sync"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/experiments"
 	"deltasched/internal/measure"
 	"deltasched/internal/obs"
+	"deltasched/internal/randx"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
 )
@@ -24,10 +28,19 @@ type simSpec struct {
 	N0, Nc   int
 	CountAgg bool // drive aggregates by the O(1) ON-count chain instead of per-flow draws
 	MkSched  func(node int) sim.Scheduler
-	Slots    int
+	Slots    int // total slot budget; replication splits it into Slots/Reps per run
 	Seed     int64
 	Every    int // probe sampling stride; 0 disables the probe
 	Progress func(done, total int)
+
+	// Reps splits the slot budget into that many independent replications
+	// with disjoint SplitMix64-derived seeds, run concurrently and merged.
+	// Reps <= 1 is the legacy single run: one Tandem.Run over the full
+	// budget, seeded with Seed itself — bit-identical to pre-replication
+	// outputs. SimWorkers bounds the concurrent replications (0 = all
+	// cores).
+	Reps       int
+	SimWorkers int
 }
 
 // runTandem executes the simulation and returns the through-flow delay
@@ -127,14 +140,141 @@ func validateWeights(w0, wc float64) error {
 	return nil
 }
 
+// repOutcome is the result of a (possibly replicated) tandem simulation:
+// the pooled delay distribution for point estimates, the per-replication
+// distributions for confidence intervals, the aggregate counters, and
+// the probe of replication 0 (probes observe a single sample path).
+type repOutcome struct {
+	Dist        measure.Distribution   // pooled over all replications
+	PerRep      []measure.Distribution // one per replication, in index order
+	Stats       sim.Stats              // volumes summed; MaxBacklog is the max over replications
+	Probe       *obs.SimProbe
+	Reps        int
+	SlotsPerRep int
+}
+
+// runReplicated fans a simulation point out over Reps independent
+// replications: the slot budget splits into Slots/Reps per replication,
+// replication i runs with the i-th SplitMix64-derived seed, and the
+// replications execute concurrently on a bounded worker pool
+// (experiments.ParMapCtx: cancellation, panic isolation). Results merge
+// in replication index order, so for a fixed (seed, reps) the outcome is
+// bit-identical regardless of worker count or completion order. Reps <= 1
+// degenerates to the legacy single run seeded with the root seed.
+func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
+	reps := spec.Reps
+	if reps <= 1 {
+		rec, stats, probe, err := runTandem(ctx, spec)
+		if err != nil {
+			return repOutcome{}, err
+		}
+		dist := rec.Distribution()
+		return repOutcome{
+			Dist:        dist,
+			PerRep:      []measure.Distribution{dist},
+			Stats:       stats,
+			Probe:       probe,
+			Reps:        1,
+			SlotsPerRep: spec.Slots,
+		}, nil
+	}
+	perRepSlots := spec.Slots / reps
+	if perRepSlots < 1 {
+		return repOutcome{}, fmt.Errorf("%w: %d slots cannot split into %d replications",
+			core.ErrBadConfig, spec.Slots, reps)
+	}
+
+	// Per-replication slot progress folds into one (done, total) stream;
+	// the lock serializes the calls and keeps the aggregate monotonic.
+	var onSlots func(rep, done int)
+	if spec.Progress != nil {
+		var mu sync.Mutex
+		done := make([]int, reps)
+		total := reps * perRepSlots
+		report := spec.Progress
+		onSlots = func(rep, d int) {
+			mu.Lock()
+			defer mu.Unlock()
+			done[rep] = d
+			sum := 0
+			for _, v := range done {
+				sum += v
+			}
+			report(sum, total)
+		}
+	}
+
+	seeds := randx.NewSeedStream(spec.Seed)
+	idx := make([]int, reps)
+	for i := range idx {
+		idx[i] = i
+	}
+	type repResult struct {
+		rec   *measure.DelayRecorder
+		stats sim.Stats
+		probe *obs.SimProbe
+	}
+	results, _, err := experiments.ParMapCtx(ctx, spec.SimWorkers, idx,
+		func(rctx context.Context, rep int) (repResult, error) {
+			rspec := spec
+			rspec.Slots = perRepSlots
+			rspec.Seed = seeds.Seed(rep)
+			rspec.Progress = nil
+			if onSlots != nil {
+				r := rep
+				rspec.Progress = func(d, _ int) { onSlots(r, d) }
+			}
+			if rep != 0 {
+				rspec.Every = 0 // the probe follows one sample path: replication 0
+			}
+			rec, stats, probe, err := runTandem(rctx, rspec)
+			if err != nil {
+				return repResult{}, fmt.Errorf("replication %d: %w", rep, err)
+			}
+			return repResult{rec: rec, stats: stats, probe: probe}, nil
+		}, experiments.RunOptions{Policy: experiments.FailFast})
+	if err != nil {
+		return repOutcome{}, err
+	}
+
+	out := repOutcome{
+		PerRep:      make([]measure.Distribution, reps),
+		Probe:       results[0].probe,
+		Reps:        reps,
+		SlotsPerRep: perRepSlots,
+	}
+	recs := make([]*measure.DelayRecorder, reps)
+	for i, r := range results {
+		recs[i] = r.rec
+		out.PerRep[i] = r.rec.Distribution()
+		out.Stats.ThroughArrived += r.stats.ThroughArrived
+		out.Stats.ThroughLeft += r.stats.ThroughLeft
+		out.Stats.CrossArrived += r.stats.CrossArrived
+		if r.stats.MaxBacklog > out.Stats.MaxBacklog {
+			out.Stats.MaxBacklog = r.stats.MaxBacklog
+		}
+	}
+	out.Dist = measure.MergedDistribution(recs)
+	return out, nil
+}
+
 // simMetrics condenses a simulated delay distribution into the named
 // empirical metrics of a Result: the delay quantile at 1−simeps, the
-// observed maximum, and — when a finite analytic bound is available —
-// the empirical violation fraction of that bound.
-func simMetrics(dist measure.Distribution, stats sim.Stats, simeps, bound float64) map[string]float64 {
+// observed maximum, the censored (horizon-truncated) mass, and — when a
+// finite analytic bound is available — the empirical violation fraction
+// of that bound. With two or more replications the per-replication
+// estimates additionally yield Student-t 95% confidence half-widths.
+func simMetrics(out repOutcome, simeps, bound float64) map[string]float64 {
+	dist := out.Dist
 	m := map[string]float64{
-		"sim_max_backlog_kbit":     stats.MaxBacklog,
-		"sim_through_arrived_kbit": stats.ThroughArrived,
+		"sim_max_backlog_kbit":     out.Stats.MaxBacklog,
+		"sim_through_arrived_kbit": out.Stats.ThroughArrived,
+		"sim_censored_fraction":    dist.CensoredFraction(),
+	}
+	if cf := m["sim_censored_fraction"]; cf > simeps {
+		fmt.Fprintf(os.Stderr,
+			"warning: %.3g of the observed volume is right-censored by the horizon (> simeps %.3g); the %g-quantile is biased low — raise -slots or lower -reps\n",
+			cf, simeps, 1-simeps)
 	}
 	if q, err := dist.Quantile(1 - simeps); err == nil {
 		m["sim_delay_quantile_slots"] = float64(q)
@@ -142,8 +282,22 @@ func simMetrics(dist measure.Distribution, stats sim.Stats, simeps, bound float6
 	if mx, err := dist.Max(); err == nil {
 		m["sim_delay_max_slots"] = float64(mx)
 	}
-	if !math.IsNaN(bound) && !math.IsInf(bound, 0) {
+	finiteBound := !math.IsNaN(bound) && !math.IsInf(bound, 0)
+	if finiteBound {
 		m["sim_violation_fraction"] = dist.ViolationFraction(bound)
+	}
+	if out.Reps >= 2 {
+		m["sim_reps"] = float64(out.Reps)
+		if mean, half, err := measure.QuantileCI(out.PerRep, 1-simeps); err == nil {
+			m["sim_delay_quantile_mean_slots"] = mean
+			m["sim_delay_quantile_ci_slots"] = half
+		}
+		if finiteBound {
+			if mean, half, err := measure.ViolationFractionCI(out.PerRep, bound); err == nil {
+				m["sim_violation_fraction_mean"] = mean
+				m["sim_violation_fraction_ci"] = half
+			}
+		}
 	}
 	return m
 }

@@ -22,8 +22,13 @@ type TandemDetail struct {
 	BoundLabel string
 	Delta      float64
 	Stats      sim.Stats
-	Dist       measure.Distribution
+	Dist       measure.Distribution // pooled over replications (reps=1: the single run)
 	Probe      *obs.SimProbe
+	// Replication artifacts: per-replication distributions for CI
+	// printing, the replication count, and the per-replication horizon.
+	PerRep      []measure.Distribution
+	Reps        int
+	SlotsPerRep int
 }
 
 // tandemScenario is the netsim experiment: simulate the Fig. 1 tandem
@@ -47,8 +52,10 @@ func (tandemScenario) Info() Info {
 			{Name: "gps-w0", Kind: "float", Default: "1", Help: "GPS weight of the through traffic"},
 			{Name: "gps-wc", Kind: "float", Default: "1", Help: "GPS weight of the cross traffic"},
 			{Name: "pktsize", Kind: "float", Default: "0", Help: "packet size for non-preemptive service (0 = fluid); fifo/bmux/sp/edf only"},
-			{Name: "slots", Kind: "int", Default: "200000", Help: "simulation length in slots"},
-			{Name: "seed", Kind: "int", Default: "1", Help: "RNG seed"},
+			{Name: "slots", Kind: "int", Default: "200000", Help: "total simulation budget in slots (split across replications)"},
+			{Name: "reps", Kind: "int", Default: "1", Help: "independent replications with SplitMix64-derived seeds; reps>1 merges distributions and adds Student-t CI metrics"},
+			{Name: "simworkers", Kind: "int", Default: "0", Help: "max concurrent replications (0 = all cores)"},
+			{Name: "seed", Kind: "int", Default: "1", Help: "RNG seed (root of the replication seed stream)"},
 			{Name: "eps", Kind: "float", Default: "1e-2", Help: "violation probability for the analytical bound"},
 			{Name: "probe-every", Kind: "int", Default: "0", Help: "probe sampling stride in slots (0 disables the probe)"},
 		},
@@ -69,6 +76,12 @@ func (tandemScenario) Points(cfg Config) ([]Point, error) {
 	if agg := cfg.Str("agg", "per-source"); agg != "per-source" {
 		id += "/agg=" + agg
 	}
+	// A replicated point samples different (shorter, multi-seed) paths
+	// than the single run, so its checkpoint identity must differ; reps=1
+	// keeps the historical ID.
+	if reps := cfg.Int("reps", 1); reps > 1 {
+		id += "/reps=" + strconv.Itoa(reps)
+	}
 	return []Point{{ID: id}}, nil
 }
 
@@ -80,6 +93,7 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 		nc    = cfg.Int("nc", 60)
 		sched = cfg.Str("sched", "fifo")
 		slots = cfg.Int("slots", 200000)
+		reps  = cfg.Int("reps", 1)
 		eps   = cfg.Float("eps", 1e-2)
 		pkt   = cfg.Float("pktsize", 0)
 		agg   = cfg.Str("agg", "per-source")
@@ -89,6 +103,12 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 	}
 	if slots <= 0 {
 		return Result{}, fmt.Errorf("%w: -slots must be positive, got %d", core.ErrBadConfig, slots)
+	}
+	if reps < 1 {
+		return Result{}, fmt.Errorf("%w: -reps must be >= 1, got %d", core.ErrBadConfig, reps)
+	}
+	if reps > slots {
+		return Result{}, fmt.Errorf("%w: %d slots cannot split into %d replications", core.ErrBadConfig, slots, reps)
 	}
 	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
 		return Result{}, fmt.Errorf("%w: -eps must be in (0,1), got %g", core.ErrBadConfig, eps)
@@ -160,26 +180,31 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 
 	out := Result{Analytic: bound}
 	if be.Has(Sim) {
-		rec, stats, probe, err := runTandem(ctx, simSpec{
-			Src:      src,
-			H:        h,
-			C:        c,
-			N0:       n0,
-			Nc:       nc,
-			CountAgg: agg == "count",
-			MkSched:  mkSched,
-			Slots:    slots,
-			Seed:     cfg.Int64("seed", 1),
-			Every:    cfg.Int("probe-every", 0),
-			Progress: cfg.Progress(),
+		rep, err := runReplicated(ctx, simSpec{
+			Src:        src,
+			H:          h,
+			C:          c,
+			N0:         n0,
+			Nc:         nc,
+			CountAgg:   agg == "count",
+			MkSched:    mkSched,
+			Slots:      slots,
+			Seed:       cfg.Int64("seed", 1),
+			Every:      cfg.Int("probe-every", 0),
+			Progress:   cfg.Progress(),
+			Reps:       reps,
+			SimWorkers: cfg.Int("simworkers", 0),
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		detail.Stats = stats
-		detail.Dist = rec.Distribution()
-		detail.Probe = probe
-		out.Sim = simMetrics(detail.Dist, stats, eps, bound)
+		detail.Stats = rep.Stats
+		detail.Dist = rep.Dist
+		detail.Probe = rep.Probe
+		detail.PerRep = rep.PerRep
+		detail.Reps = rep.Reps
+		detail.SlotsPerRep = rep.SlotsPerRep
+		out.Sim = simMetrics(rep, eps, bound)
 	}
 	out.Detail = detail
 	return out, nil

@@ -122,7 +122,7 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	if t.RecordPerNode {
 		t.perNode = make([]*measure.DelayRecorder, h)
 		for i := range t.perNode {
-			t.perNode[i] = &measure.DelayRecorder{}
+			t.perNode[i] = measure.NewDelayRecorder(slots)
 		}
 		nodeA = make([]float64, h)
 		nodeD = make([]float64, h)
@@ -134,7 +134,7 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	}
 
 	var (
-		rec   measure.DelayRecorder
+		rec   = measure.NewDelayRecorder(slots)
 		stats Stats
 		cumA  float64
 		cumD  float64
@@ -159,11 +159,10 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 			t.nodes[i].Enqueue(CrossFlow, slot, x)
 		}
 		// Serve nodes in path order; through departures cascade within the
-		// slot.
+		// slot. The output map is reused across nodes and slots; clear
+		// resets it without reallocating.
 		for i := 0; i < h; i++ {
-			for k := range out {
-				delete(out, k)
-			}
+			clear(out)
 			capa := t.C
 			if len(t.Cs) > 0 {
 				capa = t.Cs[i]
@@ -216,7 +215,7 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	if t.Progress != nil && slots%progressEvery != 0 {
 		t.Progress(slots, slots)
 	}
-	return &rec, stats, nil
+	return rec, stats, nil
 }
 
 // SingleNode simulates one buffered link shared by an arbitrary set of
@@ -241,7 +240,7 @@ func (n *SingleNode) Run(slots int) (map[core.FlowID]*measure.DelayRecorder, err
 	cumD := make(map[core.FlowID]float64, len(n.Sources))
 	flows := make([]core.FlowID, 0, len(n.Sources))
 	for f := range n.Sources {
-		recs[f] = &measure.DelayRecorder{}
+		recs[f] = measure.NewDelayRecorder(slots)
 		flows = append(flows, f)
 	}
 	// Deterministic iteration order for reproducibility.
@@ -260,9 +259,7 @@ func (n *SingleNode) Run(slots int) (map[core.FlowID]*measure.DelayRecorder, err
 			cumA[f] += a
 			n.Sched.Enqueue(f, slot, a)
 		}
-		for k := range out {
-			delete(out, k)
-		}
+		clear(out)
 		n.Sched.Serve(n.C, out)
 		for _, f := range flows {
 			cumD[f] += out[f]
