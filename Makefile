@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race stress cover bench bench-json bench-smoke figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
+.PHONY: all build test test-short race stress cover bench bench-json bench-diff bench-smoke metrics-smoke figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/
 
 # Repeated race-detector runs of the concurrency-heavy tiers: flaky
 # cancellation or checkpoint races rarely show on a single pass.
@@ -29,18 +29,45 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Record the benchmark trajectory: run the suite and write BENCH_PR5.json
+# Record the benchmark trajectory: run the suite and write BENCH_PR6.json
 # with ns/op, B/op, allocs/op, custom metrics, and the git SHA, diffed
-# against the committed PR 4 baseline (-before). The file includes the
-# BenchmarkReplicatedTandem scaling curve (reps=8 at 1/2/4/8 workers);
-# see DESIGN.md's Performance section for how to read it.
+# against the committed PR 5 baseline (-before). See DESIGN.md's
+# Performance section for how to read the trajectory files.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR5.json -before BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -before BENCH_PR5.json
+
+# Regression gate over the committed trajectory: fail when the newest
+# BENCH_PR*.json regressed past 15% in ns/op or allocs/op against its
+# predecessor.
+bench-diff:
+	@files=$$(ls BENCH_PR*.json | sort -V | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_PR*.json files, have: $$files"; exit 0; fi; \
+	echo "benchjson -diff $$1 $$2 -threshold 15"; \
+	$(GO) run ./cmd/benchjson -diff $$1 $$2 -threshold 15
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or fail without paying for a timed run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# End-to-end probe of the -metrics-addr endpoint: run a netsim long
+# enough to keep the server up, poll /metrics, and require the optimizer
+# introspection counters in the exposition.
+METRICS_ADDR ?= 127.0.0.1:9473
+metrics-smoke:
+	@$(GO) build -o /tmp/deltasched-netsim ./cmd/netsim
+	@/tmp/deltasched-netsim -slots 4000000 -metrics-addr $(METRICS_ADDR) >/dev/null 2>&1 & \
+	pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 40); do \
+		body=$$(curl -sf http://$(METRICS_ADDR)/metrics 2>/dev/null) || { sleep 0.25; continue; }; \
+		if echo "$$body" | grep -q '^core_delaybound_calls_total'; then ok=1; break; fi; \
+		sleep 0.25; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$ok -ne 1 ]; then echo "metrics-smoke: /metrics never served the optimizer counters"; exit 1; fi; \
+	echo "metrics-smoke: /metrics served the optimizer counters"
 
 # Regenerate the paper's figures (Figs. 2-4) as tables, charts and CSV.
 figs:
@@ -72,8 +99,10 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPseudoInverse -fuzztime=10s ./internal/minplus/
 
 # CI gate: formatting, static analysis, race-sensitive packages (the
-# scenario tier carries the replication worker-count parity tests), and a
-# fuzz smoke test of the numeric kernels.
+# scenario tier carries the replication worker-count parity tests, the
+# obs tier the tracer/registry concurrency tests), the bench regression
+# gate over the committed trajectory, a live probe of the /metrics
+# endpoint, and a fuzz smoke test of the numeric kernels.
 check:
 	@unformatted=$$(gofmt -l cmd internal examples bench_test.go); \
 	if [ -n "$$unformatted" ]; then \
@@ -81,8 +110,10 @@ check:
 	fi
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/
 	$(MAKE) bench-smoke
+	$(MAKE) bench-diff
+	$(MAKE) metrics-smoke
 	$(MAKE) fuzz-smoke
 
 # Profile a representative netsim run and show the hot functions.

@@ -4,6 +4,10 @@
 // the fitted growth exponents of network versus additive bounds, and the
 // persistence of EDF's advantage on long paths.
 //
+// Like all commands built on internal/runner, it takes the shared
+// telemetry flags: -report (metric snapshot + span tree), -tracefile
+// (Chrome trace_event timeline), -metrics-addr (live /metrics).
+//
 // Usage:
 //
 //	ablate [-util 0.5] [-quick]

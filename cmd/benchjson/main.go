@@ -17,6 +17,13 @@
 // Example:
 //
 //	benchjson -out BENCH_PR4.json -before /tmp/bench_before.txt
+//
+// With -diff the command becomes a regression gate instead of a
+// recorder: it compares the "after" entries of two benchjson files and
+// exits nonzero when any benchmark regressed past -threshold percent in
+// ns/op or allocs/op:
+//
+//	benchjson -diff BENCH_PR5.json BENCH_PR6.json -threshold 15
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -76,8 +84,29 @@ func run(args []string) error {
 	bench := fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
 	benchtime := fs.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
 	pkgs := fs.String("packages", "./...", "packages to benchmark")
+	diff := fs.Bool("diff", false, "compare two benchjson files (old new) and exit nonzero on regressions")
+	threshold := fs.Float64("threshold", 15, "with -diff: regression tolerance in percent for ns/op and allocs/op")
+	// The flag package stops at the first positional, so `-diff old new
+	// -threshold 20` would silently ignore the trailing flag. Re-parse
+	// around positionals until the argument list is exhausted.
+	var positionals []string
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	for fs.NArg() > 0 {
+		positionals = append(positionals, fs.Arg(0))
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	if *diff {
+		if len(positionals) != 2 {
+			return fmt.Errorf("-diff needs exactly two files (old.json new.json), got %d", len(positionals))
+		}
+		return runDiff(positionals[0], positionals[1], *threshold)
+	}
+	if len(positionals) != 0 {
+		return fmt.Errorf("unexpected arguments %q (positional files are only used with -diff)", positionals)
 	}
 
 	baseline := map[string]*Measurement{}
@@ -145,6 +174,108 @@ func run(args []string) error {
 	printSummary(f)
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
 	return nil
+}
+
+// runDiff is the regression gate: load the "after" sides of two
+// benchjson files, compare every benchmark present in both, and fail if
+// ns/op or allocs/op grew by more than threshold percent. New and
+// removed benchmarks are reported but never fail the gate — adding a
+// benchmark must not break CI. Allocation counts are deterministic and
+// always gate; ns/op only gates when both files were recorded on the
+// same CPU — across machines a wall-time delta measures the hardware,
+// not the code, so it degrades to a warning.
+func runDiff(oldPath, newPath string, threshold float64) error {
+	oldM, oldCPU, err := loadDiffSide(oldPath)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", oldPath, err)
+	}
+	newM, newCPU, err := loadDiffSide(newPath)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", newPath, err)
+	}
+	sameCPU := oldCPU == newCPU
+	if !sameCPU {
+		fmt.Printf("note: recorded on different CPUs (%q vs %q); ns/op deltas warn instead of failing\n",
+			oldCPU, newCPU)
+	}
+
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		nw := newM[name]
+		od, ok := oldM[name]
+		if !ok {
+			fmt.Printf("%-34s %14s → %-14.4g ns/op  (new)\n", name, "-", nw.NsPerOp)
+			continue
+		}
+		nsPct := pctChange(od.NsPerOp, nw.NsPerOp)
+		allocPct := pctChange(od.AllocsPerOp, nw.AllocsPerOp)
+		verdict := "ok"
+		switch {
+		case nsPct > threshold && sameCPU:
+			verdict = fmt.Sprintf("REGRESSION ns/op %+.1f%% > %g%%", nsPct, threshold)
+			regressions = append(regressions, name+": "+verdict)
+		case allocPct > threshold:
+			verdict = fmt.Sprintf("REGRESSION allocs/op %+.1f%% (%.4g → %.4g) > %g%%",
+				allocPct, od.AllocsPerOp, nw.AllocsPerOp, threshold)
+			regressions = append(regressions, name+": "+verdict)
+		case nsPct > threshold:
+			verdict = fmt.Sprintf("warn: ns/op %+.1f%% (different CPUs)", nsPct)
+		}
+		fmt.Printf("%-34s %14.4g → %-14.4g ns/op  (%+.1f%%)  %s\n",
+			name, od.NsPerOp, nw.NsPerOp, nsPct, verdict)
+	}
+	for name := range oldM {
+		if _, ok := newM[name]; !ok {
+			fmt.Printf("%-34s (removed)\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Println()
+		for _, r := range regressions {
+			fmt.Println("FAIL:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past %g%%", len(regressions), threshold)
+	}
+	fmt.Printf("no regressions past %g%% across %d benchmarks\n", threshold, len(names))
+	return nil
+}
+
+// pctChange is the growth of new over old in percent. A zero old value
+// means percentages are meaningless: going 0 → positive (e.g. a
+// formerly allocation-free path now allocating) counts as an infinite
+// regression, staying at zero as no change.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// loadDiffSide loads one side of a -diff comparison along with the CPU
+// it was recorded on (empty for raw text baselines, which carry no
+// reliable context).
+func loadDiffSide(path string) (map[string]*Measurement, string, error) {
+	if f, err := readJSON(path); err == nil {
+		m := map[string]*Measurement{}
+		for name, e := range f.Benchmarks {
+			if e.After != nil {
+				m[name] = e.After
+			}
+		}
+		return m, f.CPU, nil
+	}
+	m, err := loadBaseline(path)
+	return m, "", err
 }
 
 // loadBaseline accepts either a prior benchjson file (its after entries

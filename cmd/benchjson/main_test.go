@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,6 +46,122 @@ func TestParseBench(t *testing.T) {
 	}
 	if eb := res["BenchmarkEffectiveBandwidth"]; eb.NsPerOp != 31.21 {
 		t.Errorf("fractional ns/op = %v", eb.NsPerOp)
+	}
+}
+
+// writeBenchFile materializes a benchjson File with the given after-side
+// (name → ns/op, allocs/op) pairs.
+func writeBenchFile(t *testing.T, path string, after map[string][2]float64) {
+	t.Helper()
+	f := &File{Schema: "deltasched-bench/v1", Benchmarks: map[string]*Entry{}}
+	for name, v := range after {
+		f.Benchmarks[name] = &Entry{After: &Measurement{Iterations: 1, NsPerOp: v[0], AllocsPerOp: v[1]}}
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, map[string][2]float64{
+		"BenchmarkA":    {1000, 4},
+		"BenchmarkB":    {2000, 0},
+		"BenchmarkGone": {50, 0},
+	})
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA":   {1100, 4}, // +10% ns/op
+			"BenchmarkB":   {1900, 0},
+			"BenchmarkNew": {1, 99}, // new benchmarks never fail the gate
+		})
+		if err := runDiff(oldPath, newPath, 15); err != nil {
+			t.Errorf("diff within threshold failed: %v", err)
+		}
+	})
+	t.Run("ns regression fails", func(t *testing.T) {
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA": {1200, 4}, // +20% ns/op
+			"BenchmarkB": {2000, 0},
+		})
+		if err := runDiff(oldPath, newPath, 15); err == nil {
+			t.Error("+20%% ns/op must fail a 15%% gate")
+		}
+		if err := runDiff(oldPath, newPath, 25); err != nil {
+			t.Errorf("+20%% ns/op must pass a 25%% gate: %v", err)
+		}
+	})
+	t.Run("alloc regression fails", func(t *testing.T) {
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA": {1000, 5}, // +25% allocs/op
+			"BenchmarkB": {2000, 0},
+		})
+		if err := runDiff(oldPath, newPath, 15); err == nil {
+			t.Error("+25%% allocs/op must fail a 15%% gate")
+		}
+	})
+	t.Run("cross-cpu ns delta warns, allocs still gate", func(t *testing.T) {
+		writeCPU := func(path, cpu string, ns, allocs float64) {
+			f := &File{Schema: "deltasched-bench/v1", CPU: cpu, Benchmarks: map[string]*Entry{
+				"BenchmarkA": {After: &Measurement{Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}},
+			}}
+			buf, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeCPU(oldPath, "cpuA", 1000, 4)
+		writeCPU(newPath, "cpuB", 2000, 4) // +100% ns/op on different hardware
+		if err := runDiff(oldPath, newPath, 15); err != nil {
+			t.Errorf("cross-CPU ns delta must not fail the gate: %v", err)
+		}
+		writeCPU(newPath, "cpuB", 2000, 6) // +50% allocs/op is machine-independent
+		if err := runDiff(oldPath, newPath, 15); err == nil {
+			t.Error("alloc regression must fail even across CPUs")
+		}
+		// Restore the shared old file for later subtests.
+		writeBenchFile(t, oldPath, map[string][2]float64{
+			"BenchmarkA":    {1000, 4},
+			"BenchmarkB":    {2000, 0},
+			"BenchmarkGone": {50, 0},
+		})
+	})
+	t.Run("alloc-free path starting to allocate fails any threshold", func(t *testing.T) {
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA": {1000, 4},
+			"BenchmarkB": {2000, 1}, // 0 → 1 allocs/op
+		})
+		if err := runDiff(oldPath, newPath, 1e9); err == nil {
+			t.Error("0 → 1 allocs/op must fail regardless of threshold")
+		}
+	})
+}
+
+func TestRunDiffFlagsAfterPositionals(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchFile(t, oldPath, map[string][2]float64{"BenchmarkA": {1000, 0}})
+	writeBenchFile(t, newPath, map[string][2]float64{"BenchmarkA": {1200, 0}})
+	// -threshold after the positional files must still be honoured.
+	if err := run([]string{"-diff", oldPath, newPath, "-threshold", "25"}); err != nil {
+		t.Errorf("trailing -threshold 25 not honoured: %v", err)
+	}
+	if err := run([]string{"-diff", oldPath, newPath, "-threshold", "15"}); err == nil {
+		t.Error("trailing -threshold 15 must fail on a +20%% regression")
+	}
+	if err := run([]string{"-diff", oldPath}); err == nil {
+		t.Error("-diff with one file must error")
 	}
 }
 

@@ -5,6 +5,10 @@
 // flows; the tool optimizes both free parameters (rate slack γ and EBB
 // decay α) and reports the optimizer's internals.
 //
+// Like all commands built on internal/runner, it takes the shared
+// telemetry flags: -report (metric snapshot + span tree), -tracefile
+// (Chrome trace_event timeline), -metrics-addr (live /metrics).
+//
 // Examples:
 //
 //	delaybound -H 5 -sched fifo -n0 100 -nc 233

@@ -6,6 +6,11 @@
 // against the simulation, sim runs the simulator alone, analytic
 // computes only the bound.
 //
+// Telemetry: -report embeds the metric snapshot (sim_slots_total,
+// optimizer counters) and the span tree, -tracefile writes a Chrome
+// trace_event timeline, and -metrics-addr serves live Prometheus text
+// on /metrics while the run lasts.
+//
 // Example:
 //
 //	netsim -H 3 -C 20 -n0 30 -nc 60 -sched fifo -slots 200000 -eps 1e-2

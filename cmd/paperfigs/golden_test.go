@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,6 +24,39 @@ func TestGoldenCSVs(t *testing.T) {
 			assertGoldenCSV(t, filepath.Join(out, "fig"+fig+".csv"))
 		})
 	}
+
+	t.Run("fig1-traced", func(t *testing.T) {
+		// Telemetry is observation, never behaviour: with -tracefile the
+		// CSV must stay byte-identical, and the emitted Chrome trace must
+		// be valid JSON whose spans reach the optimizer's inner loop.
+		out := filepath.Join(dir, "traced")
+		trace := filepath.Join(dir, "trace.json")
+		quietRun(t, []string{"-quick", "-fig", "1", "-outdir", out, "-tracefile", trace})
+		assertGoldenCSV(t, filepath.Join(out, "fig1.csv"))
+
+		raw, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tf struct {
+			TraceEvents []struct {
+				Name string `json:"name"`
+				Ph   string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &tf); err != nil {
+			t.Fatalf("trace file is not valid JSON: %v", err)
+		}
+		seen := map[string]bool{}
+		for _, ev := range tf.TraceEvents {
+			seen[ev.Name] = true
+		}
+		for _, want := range []string{"point", "DelayBound", "innerMinimize"} {
+			if !seen[want] {
+				t.Errorf("trace has no %q span (got %d events)", want, len(tf.TraceEvents))
+			}
+		}
+	})
 
 	t.Run("fig1-resumed", func(t *testing.T) {
 		check := filepath.Join(dir, "check.json")

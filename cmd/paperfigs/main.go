@@ -11,6 +11,12 @@
 // exits 130. Re-running with -resume picks up where the interrupted run
 // stopped and produces byte-identical CSVs.
 //
+// Telemetry: -report embeds the metric snapshot and the aggregated span
+// tree, -tracefile writes the spans as Chrome trace_event JSON (open in
+// chrome://tracing or Perfetto), and -metrics-addr serves live
+// Prometheus text on /metrics while the run lasts. None of them change
+// the figures.
+//
 // Usage:
 //
 //	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-backend analytic|sim|both] [-checkpoint FILE [-resume]] [-progress] [-report FILE]

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"deltasched/internal/envelope"
+	"deltasched/internal/obs"
 )
 
 // AdditiveResult reports the node-by-node delay analysis used as the
@@ -41,12 +43,30 @@ type AdditiveResult struct {
 // The end-to-end delay of a tandem is at most the sum of per-node virtual
 // delays, and the union bound over the H per-node violations gives eps.
 func AdditiveBound(cfg PathConfig, eps float64) (AdditiveResult, error) {
+	return AdditiveBoundCtx(context.Background(), cfg, eps)
+}
+
+// AdditiveBoundCtx is AdditiveBound with span tracing: with an active
+// span in ctx the solve appears as an "AdditiveBound" span. The γ-sweep
+// prices probes through a D-only evaluation behind a memo — the per-node
+// delay vector is materialized only for the winning γ, so the ~100 sweep
+// probes allocate no PerNode slices.
+func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (AdditiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return AdditiveResult{}, err
 	}
 	if eps <= 0 || eps >= 1 {
 		return AdditiveResult{}, badConfig("violation probability must be in (0,1), got %g", eps)
 	}
+	sp := obs.SpanFromContext(ctx).Child("AdditiveBound")
+	defer sp.End()
+	var nProbes int64
+	defer func() {
+		if p := optProbe.Load(); p != nil {
+			p.AdditiveProbes.Add(nProbes)
+		}
+	}()
+
 	// Stability must hold at the last node, whose through rate has grown
 	// by (H−1)γ, plus the final sample-path slack: ρ + Hγ + ρ_c < C.
 	gmax := (cfg.C - cfg.Through.Rho - cfg.Cross.Rho) / float64(cfg.H)
@@ -54,33 +74,50 @@ func AdditiveBound(cfg PathConfig, eps float64) (AdditiveResult, error) {
 		return AdditiveResult{}, fmt.Errorf("%w: additive analysis infeasible", ErrUnstable)
 	}
 
-	eval := func(g float64) (AdditiveResult, error) { return additiveAtGamma(cfg, eps, g) }
+	// D-only probes behind a γ-memo: the golden-section bracket collapses
+	// below float spacing in its last iterations, so repeats are served
+	// from the memo instead of re-running the per-node recursion.
+	memo := make(map[float64]float64, 128)
+	evalD := func(g float64) float64 {
+		if d, ok := memo[g]; ok {
+			return d
+		}
+		nProbes++
+		d := math.Inf(1)
+		if r, err := additiveAtGamma(cfg, eps, g, false); err == nil {
+			d = r.D
+		}
+		memo[g] = d
+		return d
+	}
 	const gridN = 48
 	bestG, bestD := 0.0, math.Inf(1)
 	for i := 1; i <= gridN; i++ {
 		g := gmax * float64(i) / float64(gridN+1)
-		if r, err := eval(g); err == nil && r.D < bestD {
-			bestD, bestG = r.D, g
+		if d := evalD(g); d < bestD {
+			bestD, bestG = d, g
 		}
 	}
 	if math.IsInf(bestD, 1) {
 		return AdditiveResult{}, fmt.Errorf("%w: no feasible gamma for additive analysis", ErrUnstable)
 	}
-	g := goldenMin(func(g float64) float64 {
-		r, err := eval(g)
-		if err != nil {
-			return math.Inf(1)
-		}
-		return r.D
-	}, math.Max(bestG-gmax/gridN, gmax*1e-9), math.Min(bestG+gmax/gridN, gmax*(1-1e-9)), 50)
-	res, err := eval(g)
+	g := goldenMin(evalD, math.Max(bestG-gmax/gridN, gmax*1e-9), math.Min(bestG+gmax/gridN, gmax*(1-1e-9)), 50)
+	res, err := additiveAtGamma(cfg, eps, g, true)
 	if err != nil || res.D > bestD {
-		return eval(bestG)
+		res, err = additiveAtGamma(cfg, eps, bestG, true)
 	}
-	return res, nil
+	if err == nil {
+		sp.SetAttr("gamma", res.Gamma)
+		sp.SetAttr("D", res.D)
+	}
+	return res, err
 }
 
-func additiveAtGamma(cfg PathConfig, eps, gamma float64) (AdditiveResult, error) {
+// additiveAtGamma runs the per-node recursion at a fixed γ. With
+// collectPerNode false only the total D is computed (no per-node slice
+// allocation) — the arithmetic is identical either way, so probe and
+// final evaluations agree bit-for-bit.
+func additiveAtGamma(cfg PathConfig, eps, gamma float64, collectPerNode bool) (AdditiveResult, error) {
 	if gamma <= 0 {
 		return AdditiveResult{}, badConfig("gamma must be positive, got %g", gamma)
 	}
@@ -95,7 +132,10 @@ func additiveAtGamma(cfg PathConfig, eps, gamma float64) (AdditiveResult, error)
 	}
 
 	through := cfg.Through
-	res := AdditiveResult{Gamma: gamma, PerNode: make([]float64, 0, cfg.H)}
+	res := AdditiveResult{Gamma: gamma}
+	if collectPerNode {
+		res.PerNode = make([]float64, 0, cfg.H)
+	}
 	for h := 1; h <= cfg.H; h++ {
 		if through.Rho+gamma > left {
 			return AdditiveResult{}, fmt.Errorf("%w: node %d (through rate %g, leftover %g)",
@@ -111,7 +151,9 @@ func additiveAtGamma(cfg PathConfig, eps, gamma float64) (AdditiveResult, error)
 		}
 		sigma := merged.SigmaFor(perNodeEps)
 		d := sigma / left
-		res.PerNode = append(res.PerNode, d)
+		if collectPerNode {
+			res.PerNode = append(res.PerNode, d)
+		}
 		res.D += d
 
 		// Output characterization: next node's EBB description.

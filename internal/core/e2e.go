@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"deltasched/internal/envelope"
+	"deltasched/internal/obs"
 )
 
 // PathConfig describes the homogeneous multi-node network of the paper's
@@ -85,6 +86,14 @@ type Scratch struct {
 	thetas []float64
 	bounds []envelope.ExpBound
 	memo   map[float64]float64 // γ → D within one DelayBound sweep
+
+	// stats are plain-integer introspection counts, batch-flushed to the
+	// installed OptProbe once per top-level solve (see introspect.go).
+	stats optStats
+	// span, when non-nil, is the parent under which the winning γ
+	// evaluation opens "delayBoundAtGamma"/"innerMinimize" child spans;
+	// the sweep's probe evaluations run with it suppressed.
+	span *obs.Span
 }
 
 // DelayBound computes the probabilistic end-to-end delay bound
@@ -110,6 +119,8 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	if gmax <= 0 {
 		return Result{}, fmt.Errorf("%w: rho=%g, rho_c=%g, C=%g", ErrUnstable, cfg.Through.Rho, cfg.Cross.Rho, cfg.C)
 	}
+	s.stats.delayBoundCalls++
+	defer s.flushOptStats()
 
 	// The γ-memo catches re-probes of the same slack: the golden-section
 	// bracket collapses below float spacing in its last iterations, and the
@@ -122,6 +133,7 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	}
 	eval := func(g float64) float64 {
 		if d, ok := s.memo[g]; ok {
+			s.stats.gammaMemoHits++
 			return d
 		}
 		d := math.Inf(1)
@@ -131,6 +143,13 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 		s.memo[g] = d
 		return d
 	}
+
+	// The γ-sweep's ~100 probes run with the span suppressed; only the
+	// winning evaluation below is traced, so a trace shows one
+	// representative delayBoundAtGamma → innerMinimize chain per solve
+	// instead of drowning in probe spans.
+	span := s.span
+	s.span = nil
 
 	// Coarse grid, then golden-section refinement around the best cell.
 	const gridN = 48
@@ -142,11 +161,13 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 		}
 	}
 	if math.IsInf(bestD, 1) {
+		s.span = span
 		return Result{}, fmt.Errorf("%w: no feasible gamma below %g", ErrUnstable, gmax)
 	}
 	lo := math.Max(bestG-gmax/float64(gridN+1), gmax*1e-9)
 	hi := math.Min(bestG+gmax/float64(gridN+1), gmax*(1-1e-9))
 	g := goldenMin(eval, lo, hi, 60)
+	s.span = span
 	res, err := s.delayBoundAtGamma(cfg, eps, g)
 	if err != nil {
 		return Result{}, err
@@ -155,6 +176,34 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 		return s.delayBoundAtGamma(cfg, eps, bestG)
 	}
 	return res, nil
+}
+
+// DelayBoundCtx is DelayBound with span tracing: when ctx carries an
+// active span (obs.StartSpan), the solve appears as a "DelayBound" span
+// whose winning γ evaluation is traced down to innerMinimize. Without a
+// span in the context it is exactly DelayBound.
+func DelayBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Result, error) {
+	return new(Scratch).DelayBoundCtx(ctx, cfg, eps)
+}
+
+// DelayBoundCtx is the scratch-reusing form of the package-level
+// DelayBoundCtx; see the Scratch ownership rules.
+func (s *Scratch) DelayBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Result, error) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		return s.DelayBound(cfg, eps)
+	}
+	sp := parent.Child("DelayBound")
+	defer sp.End()
+	prev := s.span
+	s.span = sp
+	res, err := s.DelayBound(cfg, eps)
+	s.span = prev
+	if err == nil {
+		sp.SetAttr("gamma", res.Gamma)
+		sp.SetAttr("D", res.D)
+	}
+	return res, err
 }
 
 // DelayBoundAtGamma computes the delay bound for a fixed rate slack γ.
@@ -169,6 +218,7 @@ func (s *Scratch) DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result,
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	defer s.flushOptStats()
 	return s.delayBoundAtGamma(cfg, eps, gamma)
 }
 
@@ -176,15 +226,25 @@ func (s *Scratch) DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result,
 // the γ-sweep of DelayBound validates once at entry and then prices every
 // probe through here.
 func (s *Scratch) delayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
+	s.stats.gammaProbes++
 	if gamma <= 0 || gamma >= cfg.GammaMax() {
 		return Result{}, badConfig("gamma %g outside (0, %g)", gamma, cfg.GammaMax())
 	}
+	sp := s.span.Child("delayBoundAtGamma")
 	bound, err := s.pathBound(cfg.H, cfg.Through, cfg.Cross, gamma, math.IsInf(cfg.Delta0c, -1))
 	if err != nil {
+		sp.End()
 		return Result{}, err
 	}
 	sigma := bound.SigmaFor(eps)
+	isp := sp.Child("innerMinimize")
 	d, x := s.innerMinimize(cfg.H, cfg.C, gamma, cfg.Cross.Rho, cfg.Delta0c, sigma)
+	isp.End()
+	if sp != nil { // guard: boxing the attr values would allocate on the untraced path
+		sp.SetAttr("gamma", gamma)
+		sp.SetAttr("D", d)
+		sp.End()
+	}
 	return Result{D: d, Sigma: sigma, Gamma: gamma, X: x, Theta: s.thetas, Bound: bound}, nil
 }
 
@@ -209,6 +269,7 @@ func (s *Scratch) delayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result,
 func (s *Scratch) pathBound(h int, through, cross envelope.EBB, gamma float64, excludeCross bool) (envelope.ExpBound, error) {
 	bg := envelope.ExpBound{M: through.M / (1 - math.Exp(-through.Alpha*gamma)), Alpha: through.Alpha}
 	if excludeCross {
+		s.stats.envSegs++
 		return bg, nil
 	}
 	bc := envelope.ExpBound{M: cross.M / (1 - math.Exp(-cross.Alpha*gamma)), Alpha: cross.Alpha}
@@ -223,6 +284,7 @@ func (s *Scratch) pathBound(h int, through, cross envelope.EBB, gamma float64, e
 			s.bounds = append(s.bounds, per)
 		}
 	}
+	s.stats.envSegs += int64(len(s.bounds))
 	return envelope.Merge(s.bounds...)
 }
 
@@ -246,6 +308,7 @@ func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64
 // which are enumerated. Returns the optimal d and X; the optimal θ^1..θ^H
 // are left in s.thetas.
 func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64) {
+	s.stats.innerCalls++
 	beta := rhoc + gamma // rate of the cross sample-path envelope
 
 	// Candidate breakpoints of d(X).
@@ -273,6 +336,7 @@ func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d,
 		}
 	}
 	s.cands = cands
+	s.stats.innerCands += int64(len(cands))
 
 	best := math.Inf(1)
 	for _, x := range cands {
@@ -444,12 +508,22 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 	// golden-section bracket collapses below float spacing in its last
 	// iterations, and the post-refinement check re-prices the incumbent —
 	// so repeats are served from the memo instead of re-running the sweep.
+	var nProbes, nMemoHits int64
+	defer func() {
+		if p := optProbe.Load(); p != nil {
+			p.AlphaSweeps.Add(1)
+			p.AlphaProbes.Add(nProbes)
+			p.AlphaMemoHits.Add(nMemoHits)
+		}
+	}()
 	var ctxErr error
 	memo := make(map[float64]float64, 96)
 	f := func(a float64) float64 {
 		if v, ok := memo[a]; ok {
+			nMemoHits++
 			return v
 		}
+		nProbes++
 		v, err := eval(a)
 		if err != nil {
 			if ctxErr == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
@@ -498,6 +572,40 @@ func OptimizeAlphaFunc(eval func(alpha float64) (float64, error), alphaLo, alpha
 // needed — and all sweep evaluations share one Scratch, so the γ-probes
 // inside each DelayBound are allocation-free.
 func OptimizeAlpha(build func(alpha float64) (PathConfig, error), eps, alphaLo, alphaHi float64) (Result, error) {
+	_, r, err := optimizeAlpha(build, eps, alphaLo, alphaHi)
+	return r, err
+}
+
+// OptimizeAlphaCtx is OptimizeAlpha with span tracing: when ctx carries
+// an active span, the sweep appears as an "OptimizeAlpha" span and the
+// winning α is re-priced once under it so the trace shows the full
+// DelayBound → innerMinimize chain. The sweep's ~100 evaluations are
+// deliberately not spanned, and the re-pricing result is discarded, so
+// tracing never changes outputs. Without a span in the context it is
+// exactly OptimizeAlpha.
+func OptimizeAlphaCtx(ctx context.Context, build func(alpha float64) (PathConfig, error), eps, alphaLo, alphaHi float64) (Result, error) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		return OptimizeAlpha(build, eps, alphaLo, alphaHi)
+	}
+	sp := parent.Child("OptimizeAlpha")
+	defer sp.End()
+	a, r, err := optimizeAlpha(build, eps, alphaLo, alphaHi)
+	if err != nil {
+		return r, err
+	}
+	sp.SetAttr("alpha", a)
+	sp.SetAttr("D", r.D)
+	if cfg, berr := build(a); berr == nil {
+		var rs Scratch
+		_, _ = rs.DelayBoundCtx(obs.ContextWithSpan(ctx, sp), cfg, eps)
+	}
+	return r, nil
+}
+
+// optimizeAlpha is OptimizeAlpha returning the winning α as well, for
+// callers (the Ctx variant) that need to rebuild the winning config.
+func optimizeAlpha(build func(alpha float64) (PathConfig, error), eps, alphaLo, alphaHi float64) (float64, Result, error) {
 	var s Scratch
 	results := make(map[float64]Result, 96)
 	a, _, err := OptimizeAlphaFunc(func(alpha float64) (float64, error) {
@@ -514,18 +622,19 @@ func OptimizeAlpha(build func(alpha float64) (PathConfig, error), eps, alphaLo, 
 		return r.D, nil
 	}, alphaLo, alphaHi)
 	if err != nil {
-		return Result{}, err
+		return 0, Result{}, err
 	}
 	if r, ok := results[a]; ok {
-		return r, nil
+		return a, r, nil
 	}
 	// Unreachable in practice — OptimizeAlphaFunc only returns an α it
 	// evaluated — but recompute rather than trust that invariant blindly.
 	cfg, err := build(a)
 	if err != nil {
-		return Result{}, err
+		return 0, Result{}, err
 	}
-	return DelayBound(cfg, eps)
+	r, err := DelayBound(cfg, eps)
+	return a, r, err
 }
 
 // goldenMin minimizes f on [lo, hi] by golden-section search; f should be

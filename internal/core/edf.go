@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"deltasched/internal/obs"
 )
 
 // EDFProvisioned computes the end-to-end delay bound under EDF scheduling
@@ -26,12 +29,27 @@ import (
 //
 // It returns the converged result and the per-node deadline d*_0.
 func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error) {
+	return EDFProvisionedCtx(context.Background(), cfg, eps, ratio)
+}
+
+// EDFProvisionedCtx is EDFProvisioned with span tracing: when ctx
+// carries an active span the fixed-point solve appears as an
+// "EDFProvisioned" span and the converged recomputation is traced down
+// to innerMinimize. The whole solve — the BMUX bracket, every bisection
+// step, and the final recomputation — shares one Scratch, so its ~100
+// inner DelayBound sweeps reuse the same buffers instead of allocating
+// fresh ones per step.
+func EDFProvisionedCtx(ctx context.Context, cfg PathConfig, eps, ratio float64) (Result, float64, error) {
 	if ratio <= 0 || math.IsNaN(ratio) {
 		return Result{}, 0, badConfig("deadline ratio must be positive, got %g", ratio)
 	}
+	sp := obs.SpanFromContext(ctx).Child("EDFProvisioned")
+	defer sp.End()
+
+	var s Scratch
 	bmuxCfg := cfg
 	bmuxCfg.Delta0c = math.Inf(1)
-	bmux, err := DelayBound(bmuxCfg, eps)
+	bmux, err := s.DelayBound(bmuxCfg, eps)
 	if err != nil {
 		return Result{}, 0, fmt.Errorf("core: EDF provisioning bracket: %w", err)
 	}
@@ -39,7 +57,7 @@ func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error)
 	f := func(d float64) (float64, error) {
 		trial := cfg
 		trial.Delta0c = d / float64(cfg.H) * (1 - ratio)
-		r, err := DelayBound(trial, eps)
+		r, err := s.DelayBound(trial, eps)
 		if err != nil {
 			return 0, err
 		}
@@ -47,8 +65,10 @@ func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error)
 	}
 
 	lo, hi := 0.0, bmux.D*(1+1e-9)
+	iters := 0
 	// Ensure the upper end brackets: g(hi) <= 0 must hold since f <= BMUX.
 	for i := 0; i < 100; i++ {
+		iters++
 		mid := (lo + hi) / 2
 		fm, err := f(mid)
 		if err != nil {
@@ -63,6 +83,9 @@ func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error)
 			break
 		}
 	}
+	if p := optProbe.Load(); p != nil {
+		p.EDFBisections.Add(int64(iters))
+	}
 	if !(hi-lo <= 1e-6*hi) {
 		return Result{}, 0, fmt.Errorf("%w: EDF fixed point still bracketed by [%g, %g] after 100 bisections",
 			ErrNoConvergence, lo, hi)
@@ -70,12 +93,17 @@ func EDFProvisioned(cfg PathConfig, eps, ratio float64) (Result, float64, error)
 	d := hi
 
 	// Recompute once at the converged deadline so the reported result is
-	// self-consistent.
+	// self-consistent. The Theta of the shared scratch must be un-aliased:
+	// the package-level contract hands the caller full ownership.
 	final := cfg
 	final.Delta0c = d / float64(cfg.H) * (1 - ratio)
-	out, err := DelayBound(final, eps)
+	out, err := s.DelayBoundCtx(obs.ContextWithSpan(ctx, sp), final, eps)
 	if err != nil {
 		return Result{}, 0, err
 	}
+	out.Theta = append([]float64(nil), out.Theta...)
+	sp.SetAttr("ratio", ratio)
+	sp.SetAttr("bisections", iters)
+	sp.SetAttr("D", out.D)
 	return out, out.D / float64(cfg.H), nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/obs"
 	"deltasched/internal/plot"
 )
 
@@ -243,8 +244,13 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 		return core.PathConfig{H: h, C: s.Capacity, Through: through, Cross: cross}, nil
 	}
 
+	// The α sweeps below are not spanned — they price ~40 configurations
+	// each. When the context carries an active span, one representative
+	// re-evaluation of the winning α runs under it (result discarded,
+	// outputs unchanged), so a trace shows the full bound → innerMinimize
+	// chain per point without drowning in sweep spans.
 	if ratio, isEDF := sched.DeadlineRatio(); isEDF {
-		_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+		a, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
 			cfg, err := build(alpha)
 			if err != nil {
 				return 0, err
@@ -255,6 +261,11 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 			}
 			return res.D, nil
 		}, s.AlphaLo, s.AlphaHi)
+		if err == nil && obs.SpanFromContext(s.ctx()) != nil {
+			if cfg, berr := build(a); berr == nil {
+				_, _, _ = core.EDFProvisionedCtx(s.ctx(), cfg, s.Eps, ratio)
+			}
+		}
 		return d, err
 	}
 
@@ -265,7 +276,7 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 	case FIFO:
 		delta = 0
 	case BMUXAdditive:
-		_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+		a, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
 			cfg, err := build(alpha)
 			if err != nil {
 				return 0, err
@@ -276,24 +287,28 @@ func (s Setup) BoundModel(model TrafficModel, sched Scheduler, h int, n0, nc flo
 			}
 			return res.D, nil
 		}, s.AlphaLo, s.AlphaHi)
+		if err == nil && obs.SpanFromContext(s.ctx()) != nil {
+			if cfg, berr := build(a); berr == nil {
+				_, _ = core.AdditiveBoundCtx(s.ctx(), cfg, s.Eps)
+			}
+		}
 		return d, err
 	default:
 		return 0, fmt.Errorf("experiments: unknown scheduler %v", sched)
 	}
 
-	_, d, err := core.OptimizeAlphaFunc(func(alpha float64) (float64, error) {
+	res, err := core.OptimizeAlphaCtx(s.ctx(), func(alpha float64) (core.PathConfig, error) {
 		cfg, err := build(alpha)
 		if err != nil {
-			return 0, err
+			return core.PathConfig{}, err
 		}
 		cfg.Delta0c = delta
-		res, err := core.DelayBound(cfg, s.Eps)
-		if err != nil {
-			return 0, err
-		}
-		return res.D, nil
-	}, s.AlphaLo, s.AlphaHi)
-	return d, err
+		return cfg, nil
+	}, s.Eps, s.AlphaLo, s.AlphaHi)
+	if err != nil {
+		return 0, err
+	}
+	return res.D, nil
 }
 
 // Example1 reproduces Fig. 2: end-to-end delay bounds of the through

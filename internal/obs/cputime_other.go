@@ -2,5 +2,10 @@
 
 package obs
 
+// cpuTimeSupported reports whether processCPUSeconds returns real
+// readings on this platform; surfaced in RunReport so zero CPU times are
+// distinguishable from unsupported ones.
+const cpuTimeSupported = false
+
 // processCPUSeconds is unavailable off unix; stage CPU times read as 0.
 func processCPUSeconds() float64 { return 0 }

@@ -4,6 +4,11 @@ package obs
 
 import "syscall"
 
+// cpuTimeSupported reports whether processCPUSeconds returns real
+// readings on this platform; surfaced in RunReport so zero CPU times are
+// distinguishable from unsupported ones.
+const cpuTimeSupported = true
+
 // processCPUSeconds returns the user+system CPU time consumed by the
 // process so far, from getrusage(2). Differences between two readings
 // give the CPU cost of a stage.

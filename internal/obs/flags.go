@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -13,17 +14,21 @@ import (
 
 // Flags is the uniform observability flag block shared by every command:
 //
-//	-report FILE      write a JSON run report
-//	-progress         report progress and stage timings on stderr
-//	-cpuprofile FILE  write a CPU profile (go tool pprof)
-//	-memprofile FILE  write a heap profile taken at exit
-//	-trace FILE       write a runtime execution trace (go tool trace)
+//	-report FILE        write a JSON run report
+//	-progress           report progress and stage timings on stderr
+//	-cpuprofile FILE    write a CPU profile (go tool pprof)
+//	-memprofile FILE    write a heap profile taken at exit
+//	-trace FILE         write a runtime execution trace (go tool trace)
+//	-tracefile FILE     write a Chrome trace_event span trace (chrome://tracing)
+//	-metrics-addr ADDR  serve /metrics (Prometheus text) and /debug/vars on ADDR
 type Flags struct {
-	Report     string
-	Progress   bool
-	CPUProfile string
-	MemProfile string
-	Trace      string
+	Report      string
+	Progress    bool
+	CPUProfile  string
+	MemProfile  string
+	Trace       string
+	TraceFile   string
+	MetricsAddr string
 }
 
 // Register installs the flags on a FlagSet.
@@ -33,24 +38,43 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
 	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.TraceFile, "tracefile", "", "write a Chrome trace_event span trace to this file (open in chrome://tracing)")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/vars on this address while the run lasts")
 }
 
 // Session is a started observability session: profiles running, report
-// accumulating. Close stops everything and writes the requested
-// artifacts. All methods are nil-safe.
+// accumulating, spans collecting, metrics served. Close stops everything
+// and writes the requested artifacts. All methods are nil-safe.
 type Session struct {
 	Report   *RunReport
 	Progress bool
+	Tracer   *Tracer // nil unless span tracing is active
 
-	flags     Flags
-	cpuFile   *os.File
-	traceFile *os.File
+	flags       Flags
+	root        *Span
+	cpuFile     *os.File
+	traceFile   *os.File
+	metricsStop func()
 }
 
-// Start begins a session for the named tool: it creates the run report
-// and starts the CPU profile and execution trace if requested.
+// Start begins a session for the named tool: it creates the run report,
+// starts the CPU profile and execution trace if requested, opens the
+// span tracer when a report or Chrome trace is wanted, and brings up the
+// metrics endpoint when -metrics-addr is set.
 func (f Flags) Start(tool string) (*Session, error) {
 	s := &Session{Report: NewReport(tool), Progress: f.Progress, flags: f}
+	if f.TraceFile != "" || f.Report != "" {
+		s.Tracer = NewTracer()
+		_, s.root = s.Tracer.Root(context.Background(), tool)
+	}
+	if f.MetricsAddr != "" {
+		addr, stop, err := ServeMetrics(f.MetricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		s.metricsStop = stop
+		fmt.Fprintf(os.Stderr, "%s: serving metrics on http://%s/metrics\n", tool, addr)
+	}
 	if f.CPUProfile != "" {
 		cf, err := os.Create(f.CPUProfile)
 		if err != nil {
@@ -76,6 +100,27 @@ func (f Flags) Start(tool string) (*Session, error) {
 		s.traceFile = tf
 	}
 	return s, nil
+}
+
+// Context installs the session's root span in ctx, so StartSpan calls
+// below it open children. When tracing is off it returns ctx unchanged —
+// downstream StartSpan calls then cost one context lookup and no-op.
+func (s *Session) Context(ctx context.Context) context.Context {
+	if s == nil || s.root == nil {
+		return ctx
+	}
+	return ContextWithSpan(ctx, s.root)
+}
+
+// Instrumented reports whether any telemetry output that consumes the
+// hot-path introspection counters was requested (report, span trace, or
+// metrics endpoint) — the gate for installing optimizer/simulator
+// probes, keeping untelemetried runs on the zero-overhead path.
+func (s *Session) Instrumented() bool {
+	if s == nil {
+		return false
+	}
+	return s.Tracer != nil || s.flags.MetricsAddr != ""
 }
 
 // Stage times a named stage of the run, recording it in the report and —
@@ -118,9 +163,10 @@ func (s *Session) stopProfiles() {
 	}
 }
 
-// Close stops the CPU profile and trace, writes the heap profile, and
-// writes the JSON report, returning the first error. Nil-safe and
-// idempotent for the profile side.
+// Close stops the CPU profile and trace, ends the root span, writes the
+// heap profile, the Chrome span trace and the JSON report (span tree
+// included), and shuts down the metrics endpoint, returning the first
+// error. Nil-safe and idempotent for the profile side.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
@@ -132,6 +178,16 @@ func (s *Session) Close() error {
 		}
 	}
 	s.stopProfiles()
+	if s.Tracer != nil {
+		s.root.End()
+		s.Report.SetSpans(s.Tracer.Tree())
+		if n := s.Tracer.Dropped(); n > 0 {
+			s.Report.SetMetric("obs_spans_dropped", float64(n))
+		}
+		if s.flags.TraceFile != "" {
+			keep(s.Tracer.WriteChromeTraceFile(s.flags.TraceFile))
+		}
+	}
 	if s.flags.MemProfile != "" {
 		mf, err := os.Create(s.flags.MemProfile)
 		if err != nil {
@@ -144,6 +200,10 @@ func (s *Session) Close() error {
 	}
 	if s.flags.Report != "" {
 		keep(s.Report.WriteFile(s.flags.Report))
+	}
+	if s.metricsStop != nil {
+		s.metricsStop()
+		s.metricsStop = nil
 	}
 	return first
 }

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// ServeMetrics starts an HTTP server on addr exposing the Default
+// registry at /metrics (Prometheus text format) and the standard expvar
+// JSON at /debug/vars — the exposition surface a bound-serving daemon
+// would mount, available today behind the CLIs' -metrics-addr flag. It
+// returns the bound address (useful with ":0") and a shutdown func.
+// The server uses its own mux so it never collides with a default-mux
+// user.
+func ServeMetrics(addr string) (string, func(), error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -45,20 +45,26 @@ type SweepCount struct {
 // measurement (stage timings, probe summaries, computed bounds) to diff
 // two runs meaningfully.
 type RunReport struct {
-	Tool        string                `json:"tool"`
-	Version     string                `json:"version"`
-	StartedAt   time.Time             `json:"started_at"`
-	WallSeconds float64               `json:"wall_seconds"`
-	CPUSeconds  float64               `json:"cpu_seconds"`
-	Interrupted bool                  `json:"interrupted,omitempty"`
-	Seed        int64                 `json:"seed,omitempty"`
-	Config      map[string]any        `json:"config,omitempty"`
-	Stages      []StageTiming         `json:"stages,omitempty"`
-	Sweeps      map[string]SweepCount `json:"sweeps,omitempty"`
-	Nodes       []NodeSummary         `json:"nodes,omitempty"`
-	Bounds      map[string]float64    `json:"bounds,omitempty"`
-	Metrics     map[string]float64    `json:"metrics,omitempty"`
-	Extra       map[string]any        `json:"extra,omitempty"`
+	Tool        string    `json:"tool"`
+	Version     string    `json:"version"`
+	StartedAt   time.Time `json:"started_at"`
+	WallSeconds float64   `json:"wall_seconds"`
+	// CPUTimeSupported distinguishes real zero CPU readings from
+	// platforms where processCPUSeconds is unavailable (non-unix), so a
+	// report full of zero cpu_seconds is not mistaken for free work.
+	CPUTimeSupported bool                         `json:"cpu_time_supported"`
+	CPUSeconds       float64                      `json:"cpu_seconds"`
+	Interrupted      bool                         `json:"interrupted,omitempty"`
+	Seed             int64                        `json:"seed,omitempty"`
+	Config           map[string]any               `json:"config,omitempty"`
+	Stages           []StageTiming                `json:"stages,omitempty"`
+	Sweeps           map[string]SweepCount        `json:"sweeps,omitempty"`
+	Nodes            []NodeSummary                `json:"nodes,omitempty"`
+	Bounds           map[string]float64           `json:"bounds,omitempty"`
+	Metrics          map[string]float64           `json:"metrics,omitempty"`
+	Histograms       map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans            *SpanNode                    `json:"spans,omitempty"`
+	Extra            map[string]any               `json:"extra,omitempty"`
 
 	mu       sync.Mutex
 	wallFrom time.Time
@@ -69,11 +75,12 @@ type RunReport struct {
 // and the start time.
 func NewReport(tool string) *RunReport {
 	return &RunReport{
-		Tool:      tool,
-		Version:   buildVersion(),
-		StartedAt: time.Now(),
-		wallFrom:  time.Now(),
-		cpuFrom:   processCPUSeconds(),
+		Tool:             tool,
+		Version:          buildVersion(),
+		StartedAt:        time.Now(),
+		CPUTimeSupported: cpuTimeSupported,
+		wallFrom:         time.Now(),
+		cpuFrom:          processCPUSeconds(),
 	}
 }
 
@@ -138,6 +145,17 @@ func (r *RunReport) SetExtra(name string, v any) {
 	r.mu.Unlock()
 }
 
+// SetSpans attaches the aggregated span tree. Nil-safe; a nil tree
+// clears the field.
+func (r *RunReport) SetSpans(n *SpanNode) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Spans = n
+	r.mu.Unlock()
+}
+
 // SetInterrupted marks the run as cut short by a signal, so a partial
 // report is distinguishable from a complete one. Nil-safe.
 func (r *RunReport) SetInterrupted() {
@@ -165,15 +183,35 @@ func (r *RunReport) ObserveSweep(name string, done, total int) {
 	r.mu.Unlock()
 }
 
-// Finalize stamps the total wall and CPU time. It is called by WriteFile,
-// and is idempotent enough to call again after further updates.
+// Finalize stamps the total wall and CPU time and snapshots the Default
+// metrics registry into Metrics/Histograms, so every registered
+// counter, gauge and histogram lands in the report without per-call
+// SetMetric plumbing. One-off SetMetric values set earlier win over a
+// registry entry of the same name. It is called by WriteFile, and is
+// idempotent enough to call again after further updates.
 func (r *RunReport) Finalize() {
 	if r == nil {
 		return
 	}
+	scalars, hists := Default.Snapshot()
 	r.mu.Lock()
 	r.WallSeconds = time.Since(r.wallFrom).Seconds()
 	r.CPUSeconds = processCPUSeconds() - r.cpuFrom
+	for name, v := range scalars {
+		if _, taken := r.Metrics[name]; taken {
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[name] = v
+	}
+	for name, h := range hists {
+		if r.Histograms == nil {
+			r.Histograms = make(map[string]HistogramSnapshot)
+		}
+		r.Histograms[name] = h
+	}
 	r.mu.Unlock()
 }
 

@@ -7,12 +7,35 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"deltasched/internal/core"
 	"deltasched/internal/experiments"
 	"deltasched/internal/obs"
 	"deltasched/internal/scenario"
 )
+
+// optimizerProbe wires the core optimizer's introspection seam to
+// registry-backed counters, so a -metrics-addr endpoint serves the
+// optimizer's work breakdown live and every report snapshots it.
+// Registration is idempotent, so repeated Main calls (tests) reuse the
+// same counters.
+func optimizerProbe() *core.OptProbe {
+	r := obs.Default
+	return &core.OptProbe{
+		DelayBoundCalls: r.Counter("core_delaybound_calls_total", "top-level gamma-optimized DelayBound solves", nil),
+		GammaProbes:     r.Counter("core_gamma_probes_total", "delay evaluations at fixed gamma (grid + golden + final)", nil),
+		GammaMemoHits:   r.Counter("core_gamma_memo_hits_total", "gamma re-probes served from the per-sweep memo", nil),
+		InnerMinCalls:   r.Counter("core_innermin_calls_total", "inner minimization solves (Eq. 38)", nil),
+		InnerCandidates: r.Counter("core_innermin_candidates_total", "candidate breakpoints priced by the inner minimization", nil),
+		EnvelopeSegs:    r.Counter("core_envelope_segments_total", "envelope segments assembled and merged by the path bound", nil),
+		AlphaSweeps:     r.Counter("core_alpha_sweeps_total", "alpha (EBB decay) optimization sweeps", nil),
+		AlphaProbes:     r.Counter("core_alpha_probes_total", "alpha evaluations priced (memo misses)", nil),
+		AlphaMemoHits:   r.Counter("core_alpha_memo_hits_total", "alpha re-probes served from the sweep memo", nil),
+		EDFBisections:   r.Counter("core_edf_bisections_total", "EDF fixed-point bisection iterations", nil),
+		AdditiveProbes:  r.Counter("core_additive_probes_total", "additive-analysis gamma evaluations", nil),
+	}
+}
 
 // App is one CLI process: its flag set, the signal-aware context, the
 // observability session, the resume checkpoint, and the selected
@@ -97,13 +120,19 @@ func (a *App) Main(args []string, body func(a *App) error) (retErr error) {
 
 	ctx, stopSignals := obs.SignalContext(context.Background())
 	defer stopSignals()
-	a.Ctx = ctx
 
 	sess, err := a.obsFlags.Start(a.Name)
 	if err != nil {
 		return err
 	}
 	a.Sess = sess
+	// The context carries the session's root span (when tracing), so every
+	// layer below — scenario, experiments, core — can open child spans
+	// through obs.StartSpan without new plumbing.
+	a.Ctx = sess.Context(ctx)
+	if sess.Instrumented() {
+		core.SetOptProbe(optimizerProbe())
+	}
 	defer func() {
 		if ferr := a.Check.Flush(); ferr != nil && retErr == nil {
 			retErr = ferr
@@ -181,14 +210,32 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 		cfg = cfg.WithProgress(pr.Observe)
 	}
 
+	// Per-scenario run metrics: evaluated-point count and wall-time
+	// distribution, labeled by scenario so a multi-figure run breaks down
+	// per workload on the /metrics endpoint and in the report snapshot.
+	pointsTotal := obs.Default.Counter("runner_points_total",
+		"scenario points evaluated", obs.Labels{"scenario": info.Name})
+	pointSeconds := obs.Default.Histogram("runner_point_seconds",
+		"per-point evaluation wall time", obs.ExpBuckets(1e-4, 4, 12),
+		obs.Labels{"scenario": info.Name})
+
 	stop := a.Sess.Stage(opt.Stage)
-	rs, _, err := experiments.ParMapCtx(a.Ctx, 0, pts, func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
+	runCtx, runSpan := obs.StartSpan(a.Ctx, info.Name)
+	rs, _, err := experiments.ParMapCtx(runCtx, 0, pts, func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
 		if useCheck {
 			if v, ok := a.Check.Lookup(pt.ID); ok {
 				return scenario.Result{Analytic: v}, nil
 			}
 		}
-		res, err := sc.Evaluate(ctx, cfg, pt, be)
+		t0 := time.Now()
+		pctx, psp := obs.StartSpan(ctx, "point")
+		if psp != nil {
+			psp.SetAttr("id", pt.ID)
+		}
+		res, err := sc.Evaluate(pctx, cfg, pt, be)
+		psp.End()
+		pointSeconds.Observe(time.Since(t0).Seconds())
+		pointsTotal.Inc()
 		switch {
 		case err == nil:
 		case info.Sweep && errors.Is(err, core.ErrInfeasible):
@@ -204,6 +251,7 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 		}
 		return res, nil
 	}, opts)
+	runSpan.End()
 	stop()
 	if err != nil {
 		reason := "failed"

@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"sync"
+
+	"deltasched/internal/obs"
+)
+
+// simIntrospection holds the replication engine's introspection counters,
+// registered lazily in the Default registry so a -metrics-addr endpoint
+// serves them live. All updates are per-replication or per-merge — far
+// off any hot loop — so they are counted unconditionally.
+type simIntrospection struct {
+	Slots        *obs.Counter // tandem slots simulated
+	Replications *obs.Counter // replication runs (reps=1 counts one)
+	MergeOps     *obs.Counter // per-replication distributions folded into pooled ones
+	CensoredKbit *obs.Counter // right-censored delay volume pooled per point, rounded to kbit
+}
+
+var (
+	simIntroOnce sync.Once
+	simIntro     *simIntrospection
+)
+
+func simIntrospect() *simIntrospection {
+	simIntroOnce.Do(func() {
+		r := obs.Default
+		simIntro = &simIntrospection{
+			Slots:        r.Counter("sim_slots_total", "tandem simulation slots executed", nil),
+			Replications: r.Counter("sim_replications_total", "tandem replication runs executed", nil),
+			MergeOps:     r.Counter("sim_merge_ops_total", "per-replication delay distributions merged into pooled ones", nil),
+			CensoredKbit: r.Counter("sim_censored_kbit_total", "right-censored (horizon-truncated) delay volume, rounded to kbit", nil),
+		}
+	})
+	return simIntro
+}

@@ -150,9 +150,9 @@ func evalPath(ctx context.Context, cfg Config, _ Backend) (Result, error) {
 		if berr != nil {
 			return Result{}, berr
 		}
-		res, err = core.DelayBound(pc, eps)
+		res, err = core.DelayBoundCtx(ctx, pc, eps)
 	} else {
-		res, err = core.OptimizeAlpha(build, eps, 1e-3, 50)
+		res, err = core.OptimizeAlphaCtx(ctx, build, eps, 1e-3, 50)
 	}
 	if err != nil {
 		return Result{}, err
@@ -164,7 +164,7 @@ func evalPath(ctx context.Context, cfg Config, _ Backend) (Result, error) {
 		if berr != nil {
 			return Result{}, berr
 		}
-		add, aerr := core.AdditiveBound(pc, eps)
+		add, aerr := core.AdditiveBoundCtx(ctx, pc, eps)
 		if aerr != nil {
 			detail.AddErr = aerr
 		} else {

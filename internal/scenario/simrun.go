@@ -86,10 +86,19 @@ func runTandem(ctx context.Context, spec simSpec) (*measure.DelayRecorder, sim.S
 		probe = &obs.SimProbe{Every: spec.Every}
 		tan.Probe = probe
 	}
+	_, sp := obs.StartSpan(ctx, "simulate")
+	if sp != nil {
+		sp.SetAttr("slots", spec.Slots)
+		sp.SetAttr("seed", spec.Seed)
+	}
 	rec, stats, err := tan.Run(spec.Slots)
+	sp.End()
 	if err != nil {
 		return nil, sim.Stats{}, nil, err
 	}
+	si := simIntrospect()
+	si.Slots.Add(int64(spec.Slots))
+	si.Replications.Inc()
 	return rec, stats, probe, nil
 }
 
@@ -169,6 +178,7 @@ func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 			return repOutcome{}, err
 		}
 		dist := rec.Distribution()
+		simIntrospect().CensoredKbit.Add(int64(dist.CensoredBits()))
 		return repOutcome{
 			Dist:        dist,
 			PerRep:      []measure.Distribution{dist},
@@ -254,7 +264,12 @@ func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 			out.Stats.MaxBacklog = r.stats.MaxBacklog
 		}
 	}
+	_, msp := obs.StartSpan(ctx, "merge")
 	out.Dist = measure.MergedDistribution(recs)
+	msp.End()
+	si := simIntrospect()
+	si.MergeOps.Add(int64(reps))
+	si.CensoredKbit.Add(int64(out.Dist.CensoredBits()))
 	return out, nil
 }
 

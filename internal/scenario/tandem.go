@@ -170,7 +170,7 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 			}
 			return core.PathConfig{H: h, C: c, Through: through, Cross: cross, Delta0c: delta}, nil
 		}
-		res, err := core.OptimizeAlpha(build, eps, 1e-3, 50)
+		res, err := core.OptimizeAlphaCtx(ctx, build, eps, 1e-3, 50)
 		if err != nil {
 			return Result{}, fmt.Errorf("computing the bound: %w", err)
 		}
