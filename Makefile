@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race stress cover bench bench-json bench-diff bench-smoke metrics-smoke figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
+.PHONY: all build test test-short race stress cover bench bench-json bench-diff bench-smoke metrics-smoke chaos figs figs-quick ablate scenarios fmt vet check fuzz-smoke profile clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/ ./internal/shard/ ./internal/faults/
 
 # Repeated race-detector runs of the concurrency-heavy tiers: flaky
 # cancellation or checkpoint races rarely show on a single pass.
@@ -34,7 +34,7 @@ bench:
 # against the committed PR 5 baseline (-before). See DESIGN.md's
 # Performance section for how to read the trajectory files.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -before BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -before BENCH_PR6.json
 
 # Regression gate over the committed trajectory: fail when the newest
 # BENCH_PR*.json regressed past 15% in ns/op or allocs/op against its
@@ -69,6 +69,13 @@ metrics-smoke:
 	if [ $$ok -ne 1 ]; then echo "metrics-smoke: /metrics never served the optimizer counters"; exit 1; fi; \
 	echo "metrics-smoke: /metrics served the optimizer counters"
 
+# Chaos suite under the race detector: every deterministic fault
+# injector (panic, hang, partial fragment write, fragment corruption)
+# plus the real SIGKILL-a-child e2e test, asserting that sharded sweeps
+# merge byte-identical to fault-free single-process runs.
+chaos:
+	$(GO) test -race -run 'Chaos|Shard' ./internal/shard/ ./internal/runner/ ./cmd/paperfigs/
+
 # Regenerate the paper's figures (Figs. 2-4) as tables, charts and CSV.
 figs:
 	$(GO) run ./cmd/paperfigs -outdir results
@@ -100,9 +107,11 @@ fuzz-smoke:
 
 # CI gate: formatting, static analysis, race-sensitive packages (the
 # scenario tier carries the replication worker-count parity tests, the
-# obs tier the tracer/registry concurrency tests), the bench regression
-# gate over the committed trajectory, a live probe of the /metrics
-# endpoint, and a fuzz smoke test of the numeric kernels.
+# obs tier the tracer/registry concurrency tests, the shard tier the
+# lease/claim races), the chaos suite (fault-injected sharded sweeps
+# must merge byte-identical), the bench regression gate over the
+# committed trajectory, a live probe of the /metrics endpoint, and a
+# fuzz smoke test of the numeric kernels.
 check:
 	@unformatted=$$(gofmt -l cmd internal examples bench_test.go); \
 	if [ -n "$$unformatted" ]; then \
@@ -110,7 +119,8 @@ check:
 	fi
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/scenario/ ./internal/measure/ ./internal/obs/ ./internal/shard/ ./internal/faults/
+	$(MAKE) chaos
 	$(MAKE) bench-smoke
 	$(MAKE) bench-diff
 	$(MAKE) metrics-smoke

@@ -7,7 +7,10 @@
 //
 // Like all commands built on internal/runner, it takes the shared
 // telemetry flags: -report (metric snapshot + span tree), -tracefile
-// (Chrome trace_event timeline), -metrics-addr (live /metrics).
+// (Chrome trace_event timeline), -metrics-addr (live /metrics) and the
+// point resilience knobs (-point-timeout, -point-retries). The
+// sharded-sweep flags (-shard/-claim/-merge) apply only to sweep
+// scenarios and are rejected for this single-point tool.
 //
 // Examples:
 //

@@ -9,7 +9,10 @@
 // Telemetry: -report embeds the metric snapshot (sim_slots_total,
 // optimizer counters) and the span tree, -tracefile writes a Chrome
 // trace_event timeline, and -metrics-addr serves live Prometheus text
-// on /metrics while the run lasts.
+// on /metrics while the run lasts. The shared point resilience knobs
+// (-point-timeout, -point-retries) bound and retry the evaluation; the
+// sharded-sweep flags (-shard/-claim/-merge) apply only to analytic
+// sweeps, not this single-shot simulation.
 //
 // Example:
 //

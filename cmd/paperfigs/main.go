@@ -11,6 +11,15 @@
 // exits 130. Re-running with -resume picks up where the interrupted run
 // stopped and produces byte-identical CSVs.
 //
+// Sweeps shard across processes (or machines on a shared filesystem):
+// -shard i/N evaluates one fixed partition and writes an
+// integrity-checked fragment to -shard-dir, -merge validates and
+// reassembles the fragments into figures byte-identical to a
+// single-process run, and -claim N lease-claims shards until the sweep
+// is done — crashed workers' shards are reclaimed when their lease
+// expires. -point-timeout and -point-retries bound and retry individual
+// point evaluations (transient failures only: panics and timeouts).
+//
 // Telemetry: -report embeds the metric snapshot and the aggregated span
 // tree, -tracefile writes the spans as Chrome trace_event JSON (open in
 // chrome://tracing or Perfetto), and -metrics-addr serves live
@@ -20,6 +29,9 @@
 // Usage:
 //
 //	paperfigs [-fig 1|2|3|all] [-quick] [-outdir DIR] [-backend analytic|sim|both] [-checkpoint FILE [-resume]] [-progress] [-report FILE]
+//	paperfigs -quick -shard 0/3 -shard-dir frags   # one shard of three (run 1/3 and 2/3 elsewhere)
+//	paperfigs -quick -merge -shard-dir frags -outdir results
+//	paperfigs -quick -claim 3 -shard-dir frags -outdir results   # work-claiming worker
 package main
 
 import (
@@ -95,6 +107,13 @@ func run(args []string) error {
 			})
 			if err != nil {
 				return fmt.Errorf("figure %s: %w", f.id, err)
+			}
+			if a.FragmentOnly() {
+				// -shard i/N: this process only wrote its fragment; tables
+				// and CSVs come from the -merge (or claim) run that sees
+				// the whole sweep.
+				fmt.Printf("fig %s: shard fragment written in %v (run -merge to render)\n", f.id, time.Since(start).Round(time.Millisecond))
+				continue
 			}
 			series := scenario.Collect(pts, rs)
 			a.Sess.Report.SetExtra("fig"+f.id, series)

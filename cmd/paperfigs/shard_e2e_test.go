@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// buildPaperfigs compiles the real binary once per test into dir.
+func buildPaperfigs(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "paperfigs")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building paperfigs: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// cleanFigCSV runs the unsharded reference and returns fig1.csv — the
+// golden bytes every sharded variant must reproduce exactly.
+func cleanFigCSV(t *testing.T, bin, dir string) []byte {
+	t.Helper()
+	cleanDir := filepath.Join(dir, "clean")
+	clean := exec.Command(bin, "-quick", "-fig", "1", "-outdir", cleanDir)
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("clean run: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(filepath.Join(cleanDir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestShardedMergeByteIdentical is the acceptance check of the sharding
+// tentpole: three -shard k/3 processes plus a -merge process produce a
+// CSV byte-identical to the single-process run.
+func TestShardedMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary five times")
+	}
+	dir := t.TempDir()
+	bin := buildPaperfigs(t, dir)
+	want := cleanFigCSV(t, bin, dir)
+
+	fragDir := filepath.Join(dir, "frags")
+	for _, spec := range []string{"0/3", "1/3", "2/3"} {
+		cmd := exec.Command(bin, "-quick", "-fig", "1", "-shard", spec, "-shard-dir", fragDir)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("shard %s: %v\n%s", spec, err, out)
+		}
+	}
+	mergedDir := filepath.Join(dir, "merged")
+	merge := exec.Command(bin, "-quick", "-fig", "1", "-merge", "-shard-dir", fragDir, "-outdir", mergedDir)
+	if out, err := merge.CombinedOutput(); err != nil {
+		t.Fatalf("merge: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(filepath.Join(mergedDir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded+merged CSV differs from the single-process run\nmerged:\n%s\nclean:\n%s", got, want)
+	}
+}
+
+// TestShardSIGKILLedWorkerReclaim drives the crash-recovery story with
+// a real dead process: a claim worker SIGKILLs itself mid-shard (fault
+// injector, kill@2 — universe index 2 lives on shard 2 of 3), leaving a
+// fragment gap and a dangling lease. A second claim worker must wait
+// out the lease, reclaim the shard, and ship a CSV byte-identical to
+// the clean run.
+func TestShardSIGKILLedWorkerReclaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary four times")
+	}
+	dir := t.TempDir()
+	bin := buildPaperfigs(t, dir)
+	want := cleanFigCSV(t, bin, dir)
+
+	fragDir := filepath.Join(dir, "frags")
+	var output bytes.Buffer
+	doomed := exec.Command(bin, "-quick", "-fig", "1", "-claim", "3", "-shard-dir", fragDir, "-lease-ttl", "2s")
+	doomed.Env = append(os.Environ(), "DELTASCHED_FAULTS=kill@2")
+	doomed.Stdout = &output
+	doomed.Stderr = &output
+	err := doomed.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("worker with kill@2 injected exited cleanly (err=%v)\n%s", err, output.String())
+	}
+	if ws, ok := exit.Sys().(syscall.WaitStatus); ok && (!ws.Signaled() || ws.Signal() != syscall.SIGKILL) {
+		t.Fatalf("doomed worker died of %v, want SIGKILL\n%s", exit, output.String())
+	}
+
+	// Recovery: a fresh worker (no faults) reclaims the dead worker's
+	// shard after the lease expires and completes the sweep.
+	outDir := filepath.Join(dir, "out")
+	recover := exec.Command(bin, "-quick", "-fig", "1", "-claim", "3", "-shard-dir", fragDir,
+		"-lease-ttl", "2s", "-outdir", outDir)
+	if out, err := recover.CombinedOutput(); err != nil {
+		t.Fatalf("recovery claim run: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(filepath.Join(outDir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reclaimed sweep CSV differs from the clean run\nreclaimed:\n%s\nclean:\n%s", got, want)
+	}
+}

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -29,6 +32,7 @@ type Checkpoint struct {
 	dirty    bool
 	lastSave time.Time
 	saveErr  error // first flush failure, surfaced by Flush
+	salvaged bool  // loaded from a damaged file (see Salvage)
 }
 
 // checkpointFile is the JSON schema of a checkpoint on disk.
@@ -51,8 +55,15 @@ func NewCheckpoint(path string) *Checkpoint {
 
 // LoadCheckpoint opens the checkpoint at path for resuming: completed
 // points recorded there are served from cache. A missing file yields an
-// empty checkpoint (resuming a run that never started is a fresh run); a
-// malformed one is an error rather than silent recomputation.
+// empty checkpoint (resuming a run that never started is a fresh run).
+//
+// A truncated or corrupted file — a crash landed mid-write on a
+// non-atomic filesystem, a disk hiccup flipped bytes — does not fail
+// the whole resume: the valid prefix of records is salvaged, the
+// checkpoint is marked (see Salvage) so the runner can warn and count
+// the recovery, and the damaged records are simply recomputed. Only a
+// file with no recoverable header (or a foreign version) is an error:
+// there the safe reading is "this is not our checkpoint".
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c := NewCheckpoint(path)
 	raw, err := os.ReadFile(path)
@@ -63,21 +74,122 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
 	}
 	var f checkpointFile
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("experiments: parsing checkpoint %s: %w", path, err)
-	}
-	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
-	}
-	for id, v := range f.Points {
-		if _, err := strconv.ParseFloat(v, 64); err != nil {
-			return nil, fmt.Errorf("experiments: checkpoint %s: point %q has bad value %q", path, id, v)
+	if err := json.Unmarshal(raw, &f); err == nil {
+		if f.Version != checkpointVersion {
+			return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+		}
+		bad := false
+		for _, v := range f.Points {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			if f.Points != nil {
+				c.points = f.Points
+			}
+			return c, nil
 		}
 	}
-	if f.Points != nil {
-		c.points = f.Points
+	points, err := salvagePoints(raw)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint %s unsalvageable: %w", path, err)
 	}
+	c.points = points
+	c.salvaged = true
 	return c, nil
+}
+
+// salvagePoints token-scans a damaged checkpoint and keeps every record
+// that is individually intact: the version header must parse and match
+// (a wrong version is a foreign file, not damage), then point records
+// are collected until the decoder hits the damage; records with
+// non-float values are dropped. The JSON writer emits "version" before
+// "points", so a truncated file always yields its valid prefix.
+func salvagePoints(raw []byte) (map[string]string, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return nil, errors.New("no checkpoint object")
+	}
+	points := make(map[string]string)
+	sawVersion := false
+	for {
+		keyTok, err := dec.Token()
+		if err != nil {
+			break // damage reached (or clean EOF-of-object handled below)
+		}
+		if keyTok == json.Delim('}') {
+			break
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "version":
+			dec.UseNumber()
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, errors.New("version header damaged")
+			}
+			if v, ok := tok.(json.Number); !ok || v.String() != strconv.Itoa(checkpointVersion) {
+				return nil, fmt.Errorf("version %v, want %d", tok, checkpointVersion)
+			}
+			sawVersion = true
+		case "points":
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+				return points, finishSalvage(sawVersion)
+			}
+			for {
+				idTok, err := dec.Token()
+				if err != nil || idTok == json.Delim('}') {
+					return points, finishSalvage(sawVersion)
+				}
+				id, ok := idTok.(string)
+				if !ok {
+					return points, finishSalvage(sawVersion)
+				}
+				valTok, err := dec.Token()
+				if err != nil {
+					return points, finishSalvage(sawVersion)
+				}
+				val, ok := valTok.(string)
+				if !ok {
+					continue // damaged record: drop, keep scanning
+				}
+				if _, err := strconv.ParseFloat(val, 64); err != nil {
+					continue // damaged record: drop, keep scanning
+				}
+				points[id] = val
+			}
+		default:
+			// Unknown top-level field: skip its value.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return points, finishSalvage(sawVersion)
+			}
+		}
+	}
+	return points, finishSalvage(sawVersion)
+}
+
+// finishSalvage gates a salvage result on the one thing damage cannot
+// excuse: the version header must have been read intact.
+func finishSalvage(sawVersion bool) error {
+	if !sawVersion {
+		return errors.New("version header missing or damaged")
+	}
+	return nil
+}
+
+// Salvage reports whether this checkpoint was recovered from a damaged
+// file, and how many records survived. The runner surfaces it as a
+// warning and a run-report counter.
+func (c *Checkpoint) Salvage() (records int, salvaged bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points), c.salvaged
 }
 
 // Lookup returns the recorded value of a point, if present.
@@ -140,8 +252,12 @@ func (c *Checkpoint) Flush() error {
 	return err
 }
 
-// saveLocked writes the checkpoint atomically (temp file + rename); the
-// caller holds c.mu.
+// saveLocked writes the checkpoint crash-safely; the caller holds c.mu.
+// The write is a uniquely-named temp file in the destination directory
+// (concurrent processes sharing a checkpoint path cannot clobber each
+// other's temp), fsynced before the atomic rename — a crash at any
+// instant leaves either the old complete checkpoint or the new complete
+// one, never a torn file, and never destroys the file it is replacing.
 func (c *Checkpoint) saveLocked() {
 	c.lastSave = time.Now()
 	data, err := json.MarshalIndent(checkpointFile{Version: checkpointVersion, Points: c.points}, "", "  ")
@@ -149,12 +265,41 @@ func (c *Checkpoint) saveLocked() {
 		c.keepErr(fmt.Errorf("experiments: marshaling checkpoint: %w", err))
 		return
 	}
-	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	dir, base := filepath.Split(c.path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
 		c.keepErr(fmt.Errorf("experiments: writing checkpoint: %w", err))
 		return
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
+	tmpName := tmp.Name()
+	discard := func(stage string, err error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		c.keepErr(fmt.Errorf("experiments: %s checkpoint: %w", stage, err))
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		discard("writing", err)
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		discard("syncing", err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		c.keepErr(fmt.Errorf("experiments: closing checkpoint: %w", err))
+		return
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		c.keepErr(fmt.Errorf("experiments: checkpoint permissions: %w", err))
+		return
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
 		c.keepErr(fmt.Errorf("experiments: replacing checkpoint: %w", err))
 		return
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -56,12 +57,15 @@ func TestCheckpointMissingFileIsEmpty(t *testing.T) {
 	}
 }
 
-func TestCheckpointRejectsCorruptFiles(t *testing.T) {
+func TestCheckpointRejectsForeignFiles(t *testing.T) {
+	// Damage is salvaged (see the salvage tests); what still hard-fails
+	// is a file we cannot even identify as one of our checkpoints.
 	dir := t.TempDir()
 	cases := map[string]string{
-		"garbage.json": "{not json",
-		"version.json": `{"version": 99, "points": {}}`,
-		"value.json":   `{"version": 1, "points": {"p": "not-a-float"}}`,
+		"garbage.json":    "{not json",
+		"version.json":    `{"version": 99, "points": {}}`,
+		"not-object.json": `[1, 2, 3]`,
+		"headless.json":   `{"points": {"p": "1"}`,
 	}
 	for name, content := range cases {
 		path := filepath.Join(dir, name)
@@ -69,8 +73,124 @@ func TestCheckpointRejectsCorruptFiles(t *testing.T) {
 			t.Fatal(err)
 		}
 		if _, err := LoadCheckpoint(path); err == nil {
-			t.Fatalf("%s: corrupt checkpoint loaded without error", name)
+			t.Fatalf("%s: unidentifiable checkpoint loaded without error", name)
 		}
+	}
+}
+
+// TestCheckpointSalvagesTruncation simulates the classic half-written
+// checkpoint: a valid file cut off mid-record must resume with its
+// valid prefix instead of failing the whole run.
+func TestCheckpointSalvagesTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "check.json")
+	c := NewCheckpoint(path)
+	for i := 0; i < 20; i++ {
+		c.Record(fmt.Sprintf("ex1/fifo/h=2/x=0.%02d", i), float64(i)*1.5)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("truncated checkpoint not salvaged: %v", err)
+	}
+	n, salvaged := r.Salvage()
+	if !salvaged {
+		t.Fatal("salvaged checkpoint not marked")
+	}
+	if n == 0 || n >= 20 {
+		t.Fatalf("salvaged %d of 20 records, want a proper prefix", n)
+	}
+	// Every salvaged record must carry its original value.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("ex1/fifo/h=2/x=0.%02d", i)
+		if v, ok := r.Lookup(id); ok && v != float64(i)*1.5 {
+			t.Fatalf("salvaged record %q = %g, want %g", id, v, float64(i)*1.5)
+		}
+	}
+}
+
+// TestCheckpointSalvagesBadValues drops individually damaged records
+// and keeps the rest.
+func TestCheckpointSalvagesBadValues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "check.json")
+	content := `{"version": 1, "points": {"good": "2.5", "bad": "not-a-float", "alsogood": "NaN"}}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("damaged-value checkpoint not salvaged: %v", err)
+	}
+	n, salvaged := r.Salvage()
+	if !salvaged || n != 2 {
+		t.Fatalf("Salvage() = %d, %v; want 2, true", n, salvaged)
+	}
+	if v, ok := r.Lookup("good"); !ok || v != 2.5 {
+		t.Fatalf("good record lost: %v, %v", v, ok)
+	}
+	if _, ok := r.Lookup("bad"); ok {
+		t.Fatal("damaged record served")
+	}
+	if v, ok := r.Lookup("alsogood"); !ok || !math.IsNaN(v) {
+		t.Fatal("NaN record lost in salvage")
+	}
+}
+
+// TestCheckpointCleanLoadIsNotSalvaged pins the flag's meaning.
+func TestCheckpointCleanLoadIsNotSalvaged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "check.json")
+	c := NewCheckpoint(path)
+	c.Record("p", 1)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, salvaged := r.Salvage(); salvaged || n != 1 {
+		t.Fatalf("clean load marked salvaged (%d, %v)", n, salvaged)
+	}
+}
+
+// TestCheckpointSaveLeavesNoTempDebris: the crash-safe writer must not
+// litter the directory on the happy path, and repeated flushes from two
+// checkpoints sharing a path must not clobber each other's temp files.
+func TestCheckpointSaveLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "check.json")
+	a, b := NewCheckpoint(path), NewCheckpoint(path)
+	for i := 0; i < 5; i++ {
+		a.Record(fmt.Sprintf("a%d", i), float64(i))
+		b.Record(fmt.Sprintf("b%d", i), float64(i))
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "check.json" {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+	// The surviving file is whole and loadable.
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Package faults is a deterministic fault-injection layer for chaos
+// testing the sharded sweep machinery. An Injector is armed from a spec
+// string ("panic@3,corrupt@0", via the -faults flag or the
+// DELTASCHED_FAULTS environment variable) and fires each armed fault
+// exactly at its named site: faults are keyed by (kind, site index), not
+// by arrival order, so the same spec produces the same fault schedule
+// regardless of worker scheduling — which is what lets the chaos tests
+// assert that a faulted run's merged output is byte-identical to the
+// fault-free run.
+//
+// Sites are integers with a per-kind meaning:
+//
+//	panic@i    panic while evaluating the point with universe index i
+//	hang@i     block until the attempt context expires at point i
+//	partial@k  truncate shard k's fragment before the atomic rename
+//	corrupt@k  flip one byte of shard k's fragment after a clean write
+//	kill@i     SIGKILL the worker process at point i (crash simulation)
+//
+// Each armed site fires a bounded number of times (once per "kind@i"
+// occurrence in the spec), so a retried evaluation or a reclaimed shard
+// eventually succeeds — the at-least-once recovery story, not an outage.
+//
+// Production binaries run with a nil *Injector: every probe is nil-safe
+// and free.
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind names one failure mode an Injector can arm.
+type Kind string
+
+// The supported failure modes. See the package comment for the meaning
+// of each site index.
+const (
+	PointPanic      Kind = "panic"
+	PointHang       Kind = "hang"
+	PartialWrite    Kind = "partial"
+	CorruptFragment Kind = "corrupt"
+	KillSelf        Kind = "kill"
+)
+
+// EnvVar is the environment variable the CLIs read a fault spec from
+// when the -faults flag is unset. Child worker processes inherit it, so
+// an e2e test can arm a fault inside a real spawned binary.
+const EnvVar = "DELTASCHED_FAULTS"
+
+type site struct {
+	kind Kind
+	n    int
+}
+
+// Injector holds armed faults. The zero state (and a nil pointer) fires
+// nothing. All methods are safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	armed map[site]int // site -> remaining fire count
+	spec  string
+}
+
+// Parse arms an injector from a comma-separated "kind@site" spec. An
+// empty spec returns a nil injector (inject nothing, cost nothing).
+// Repeating a site arms it for that many additional firings.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{armed: make(map[site]int), spec: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, nStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q has no @site (want kind@index)", part)
+		}
+		kind := Kind(kindStr)
+		switch kind {
+		case PointPanic, PointHang, PartialWrite, CorruptFragment, KillSelf:
+		default:
+			return nil, fmt.Errorf("faults: unknown kind %q (want panic, hang, partial, corrupt or kill)", kindStr)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("faults: bad site index %q in %q", nStr, part)
+		}
+		in.armed[site{kind, n}]++
+	}
+	return in, nil
+}
+
+// FromEnv arms an injector from the DELTASCHED_FAULTS environment
+// variable.
+func FromEnv() (*Injector, error) {
+	return Parse(os.Getenv(EnvVar))
+}
+
+// Fire reports whether the (kind, n) site is armed, consuming one
+// firing. Nil-safe: a nil injector never fires.
+func (in *Injector) Fire(kind Kind, n int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := site{kind, n}
+	if in.armed[s] <= 0 {
+		return false
+	}
+	in.armed[s]--
+	return true
+}
+
+// String returns the spec the injector was armed from ("" for nil).
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	return in.spec
+}
+
+// Die terminates the current process with SIGKILL — no deferred
+// functions, no checkpoint flush, no lease release. It simulates a
+// worker crash for the kill injector; the lease-expiry reclaim path is
+// what brings the shard back.
+func Die() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	// Kill is asynchronous delivery on some platforms; make sure we never
+	// return into the workload.
+	select {}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseEmptyIsNil(t *testing.T) {
+	for _, spec := range []string{"", "  ", "\t"} {
+		in, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("Parse(%q) armed an injector", spec)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"panic", "panic@", "panic@x", "panic@-1", "explode@1", "@3"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestFireOnceSemantics(t *testing.T) {
+	in, err := Parse("panic@3,hang@0,panic@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Fire(PointPanic, 2) {
+		t.Fatal("unarmed site fired")
+	}
+	if in.Fire(PointHang, 3) {
+		t.Fatal("wrong kind fired")
+	}
+	// panic@3 armed twice: fires exactly twice.
+	if !in.Fire(PointPanic, 3) || !in.Fire(PointPanic, 3) {
+		t.Fatal("armed site did not fire")
+	}
+	if in.Fire(PointPanic, 3) {
+		t.Fatal("site fired more times than armed")
+	}
+	if !in.Fire(PointHang, 0) || in.Fire(PointHang, 0) {
+		t.Fatal("hang@0 should fire exactly once")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(PointPanic, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if in.String() != "" {
+		t.Fatal("nil injector has a spec")
+	}
+}
+
+// TestFireIsRaceSafe hammers one armed site from many goroutines: the
+// total fire count must equal the armed count (run under -race in
+// make check).
+func TestFireIsRaceSafe(t *testing.T) {
+	in, err := Parse("corrupt@1,corrupt@1,corrupt@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Fire(CorruptFragment, 1) {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 3 {
+		t.Fatalf("site fired %d times, armed 3", got)
+	}
+}

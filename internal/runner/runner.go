@@ -11,8 +11,10 @@ import (
 
 	"deltasched/internal/core"
 	"deltasched/internal/experiments"
+	"deltasched/internal/faults"
 	"deltasched/internal/obs"
 	"deltasched/internal/scenario"
+	"deltasched/internal/shard"
 )
 
 // optimizerProbe wires the core optimizer's introspection seam to
@@ -56,6 +58,21 @@ type App struct {
 	backendStr *string
 	reps       *int
 	simWorkers *int
+
+	// Sharded-sweep flag group and point resilience knobs (shard.go).
+	shardStr     *string
+	claimN       *int
+	mergeFlag    *bool
+	shardDir     *string
+	leaseTTL     *time.Duration
+	pointTimeout *time.Duration
+	pointRetries *int
+	retryBase    *time.Duration
+	faultsStr    *string
+
+	shardMode shardMode
+	shardSpec shard.Spec
+	injector  *faults.Injector
 }
 
 // New creates an App and registers the flags every command shares:
@@ -70,6 +87,7 @@ func New(name string, def scenario.Backend) *App {
 	a.backendStr = a.FS.String("backend", def.String(), "evaluation backend: analytic, sim or both")
 	a.reps = a.FS.Int("reps", 1, "sim backend: independent replications per point (splits the slot budget across disjoint seed streams; reps>1 adds Student-t CI metrics)")
 	a.simWorkers = a.FS.Int("simworkers", 0, "sim backend: max concurrent replications per point (0 = all cores)")
+	a.registerShardFlags()
 	a.obsFlags.Register(a.FS)
 	return a
 }
@@ -104,13 +122,22 @@ func (a *App) Main(args []string, body func(a *App) error) (retErr error) {
 		return fmt.Errorf("%w: %v", core.ErrBadConfig, err)
 	}
 	a.Backend = be
+	if err := a.initShard(); err != nil {
+		return err
+	}
 	if *a.resume && *a.checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	var salvagedPoints int
 	if *a.checkpoint != "" {
 		if *a.resume {
 			if a.Check, err = experiments.LoadCheckpoint(*a.checkpoint); err != nil {
 				return err
+			}
+			if n, salvaged := a.Check.Salvage(); salvaged {
+				salvagedPoints = n
+				fmt.Fprintf(os.Stderr, "%s: checkpoint %s was damaged; salvaged %d intact points, the rest will be recomputed\n",
+					a.Name, *a.checkpoint, n)
 			}
 			fmt.Fprintf(os.Stderr, "%s: resuming with %d checkpointed points\n", a.Name, a.Check.Len())
 		} else {
@@ -145,6 +172,9 @@ func (a *App) Main(args []string, body func(a *App) error) (retErr error) {
 		}
 	}()
 	sess.Report.Config = obs.ConfigFromFlags(a.FS)
+	if salvagedPoints > 0 {
+		sess.Report.SetMetric("checkpoint_salvaged_points", float64(salvagedPoints))
+	}
 
 	return body(a)
 }
@@ -192,6 +222,17 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 		return nil, nil, err
 	}
 
+	// Sharded runs take their own path: partition the ID universe, write
+	// or merge fragments. They share the checkpoint gate below — only an
+	// analytic scalar sweep has per-point values a fragment can carry.
+	if a.shardMode != shardOff {
+		if !info.Sweep || be != scenario.Analytic {
+			return nil, nil, fmt.Errorf("%w: sharded runs apply to analytic scalar sweeps; scenario %q under backend %s is not one",
+				core.ErrBadConfig, info.Name, be)
+		}
+		return a.runSharded(sc, cfg, opt, pts)
+	}
+
 	// Checkpointing applies to scalar sweeps under the pure analytic
 	// backend: only there is a point a single resumable float. Lookup and
 	// Record are nil-safe, so an unset -checkpoint needs no guard.
@@ -219,9 +260,7 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 		"per-point evaluation wall time", obs.ExpBuckets(1e-4, 4, 12),
 		obs.Labels{"scenario": info.Name})
 
-	stop := a.Sess.Stage(opt.Stage)
-	runCtx, runSpan := obs.StartSpan(a.Ctx, info.Name)
-	rs, _, err := experiments.ParMapCtx(runCtx, 0, pts, func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
+	fn := func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
 		if useCheck {
 			if v, ok := a.Check.Lookup(pt.ID); ok {
 				return scenario.Result{Analytic: v}, nil
@@ -250,7 +289,26 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 			a.Check.Record(pt.ID, res.Analytic)
 		}
 		return res, nil
-	}, opts)
+	}
+	// Point resilience on the plain path: with no retry budget the
+	// -point-timeout deadline rides ParMapCtx's per-item timeout; with
+	// retries each attempt is deadlined inside shard.Retry instead, so a
+	// timed-out attempt can be retried rather than failing the item.
+	if *a.pointRetries > 0 {
+		inner := fn
+		pol := a.retryPolicy()
+		fn = func(ctx context.Context, pt scenario.Point) (scenario.Result, error) {
+			return shard.Retry(ctx, pol, pt.ID, func(actx context.Context) (scenario.Result, error) {
+				return inner(actx, pt)
+			})
+		}
+	} else {
+		opts.ItemTimeout = *a.pointTimeout
+	}
+
+	stop := a.Sess.Stage(opt.Stage)
+	runCtx, runSpan := obs.StartSpan(a.Ctx, info.Name)
+	rs, _, err := experiments.ParMapCtx(runCtx, 0, pts, fn, opts)
 	runSpan.End()
 	stop()
 	if err != nil {

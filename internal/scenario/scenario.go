@@ -201,6 +201,19 @@ type Scenario interface {
 	Evaluate(ctx context.Context, cfg Config, pt Point, be Backend) (Result, error)
 }
 
+// IDs projects the deterministic point IDs of an enumerated point set,
+// in enumeration order. Shard partitioning and fragment merging key on
+// this slice: because Points is deterministic for a config, every
+// process that enumerates the same scenario with the same flags derives
+// the same ID universe.
+func IDs(pts []Point) []string {
+	ids := make([]string, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
 // Collect groups evaluated points into plot series by their Series
 // label, preserving first-appearance order and per-series point order.
 // The Y values are the analytic bounds.

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"deltasched/internal/faults"
+)
+
+// chaosBaseline computes the fault-free merged records for a universe —
+// the ground truth every faulted run must reproduce byte for byte.
+func chaosBaseline(t *testing.T, universe []string, n int) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	w := newTestWorker(dir, universe, n)
+	w.Sweep = "chaos"
+	if err := w.Claim(context.Background()); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	merged, _, err := MergeDir(dir, "chaos", universe)
+	if err != nil {
+		t.Fatalf("baseline merge: %v", err)
+	}
+	return merged
+}
+
+// TestChaosMatrix drives the end-to-end invariant of ISSUE 7: under any
+// deterministic injected fault schedule — worker panic, hung point,
+// partial fragment write, fragment corruption — a claim-mode sweep
+// self-heals (retry, rewrite-after-validate, reclaim) and its merged
+// records are identical to the fault-free run. Runs under -race via
+// make chaos / make check.
+func TestChaosMatrix(t *testing.T) {
+	universe := testUniverse(24)
+	for _, n := range []int{1, 3} {
+		want := chaosBaseline(t, universe, n)
+		for _, tc := range []struct {
+			name, spec string
+		}{
+			{"worker-panic", "panic@7"},
+			{"double-panic", "panic@7,panic@7,panic@11"},
+			{"hung-point", "hang@5"},
+			{"partial-write", fmt.Sprintf("partial@%d", n-1)},
+			{"corrupt-fragment", "corrupt@0"},
+			{"compound", fmt.Sprintf("panic@3,hang@9,partial@0,corrupt@%d", n-1)},
+		} {
+			t.Run(fmt.Sprintf("%s/%dshards", tc.name, n), func(t *testing.T) {
+				inj, err := faults.Parse(tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				w := newTestWorker(dir, universe, n)
+				w.Sweep = "chaos"
+				w.Faults = inj
+				w.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, AttemptTimeout: 100 * time.Millisecond}
+				if err := w.Claim(context.Background()); err != nil {
+					t.Fatalf("faulted claim run (%s): %v", tc.spec, err)
+				}
+				merged, _, err := MergeDir(dir, "chaos", universe)
+				if err != nil {
+					t.Fatalf("merge after faults (%s): %v", tc.spec, err)
+				}
+				if len(merged) != len(want) {
+					t.Fatalf("merged %d points, want %d", len(merged), len(want))
+				}
+				for id, v := range want {
+					if merged[id] != v {
+						t.Fatalf("fault schedule %q changed point %q: %q, want %q", tc.spec, id, merged[id], v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosRetryBudgetExhaustion pins the failure side: a point that
+// panics more times than the retry budget allows must abort the shard
+// with an attributable error, not ship a fragment.
+func TestChaosRetryBudgetExhaustion(t *testing.T) {
+	universe := testUniverse(6)
+	inj, err := faults.Parse("panic@2,panic@2,panic@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w := newTestWorker(dir, universe, 1)
+	w.Sweep = "chaos"
+	w.Faults = inj
+	w.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if err := w.Claim(context.Background()); err == nil {
+		t.Fatal("a point failing beyond the retry budget completed the sweep")
+	}
+	if ValidFragment(FragmentPath(dir, "chaos", Spec{0, 1})) {
+		t.Fatal("failed shard still published a fragment")
+	}
+}
+
+// TestChaosExpiredLeaseReclaim simulates a crashed worker: its shard is
+// leased but dead (expired lease, no fragment). A fresh claim worker
+// must reclaim it and finish the sweep identically to the baseline.
+func TestChaosExpiredLeaseReclaim(t *testing.T) {
+	universe := testUniverse(12)
+	want := chaosBaseline(t, universe, 3)
+
+	dir := t.TempDir()
+	// The "crashed" worker got shards 0 and 1 done, then died holding 2.
+	for _, k := range []int{0, 1} {
+		w := newTestWorker(dir, universe, 3)
+		w.Sweep = "chaos"
+		if _, err := w.RunShard(context.Background(), Spec{k, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeExpiredLease(t, dir, "chaos", Spec{2, 3})
+
+	w := newTestWorker(dir, universe, 3)
+	w.Sweep = "chaos"
+	w.LeaseTTL = 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.Claim(ctx); err != nil {
+		t.Fatalf("reclaim run: %v", err)
+	}
+	merged, _, err := MergeDir(dir, "chaos", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range want {
+		if merged[id] != v {
+			t.Fatalf("reclaimed sweep changed point %q", id)
+		}
+	}
+}
+
+// TestChaosDeterministicSchedule replays the same fault schedule twice:
+// both runs must converge to identical fragments (the determinism claim
+// of internal/faults, end to end).
+func TestChaosDeterministicSchedule(t *testing.T) {
+	universe := testUniverse(10)
+	run := func() map[string]string {
+		inj, err := faults.Parse("panic@4,corrupt@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		w := newTestWorker(dir, universe, 2)
+		w.Sweep = "chaos"
+		w.Faults = inj
+		if err := w.Claim(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		merged, _, err := MergeDir(dir, "chaos", universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged
+	}
+	a, b := run(), run()
+	for id := range a {
+		if a[id] != b[id] {
+			t.Fatalf("replayed fault schedule diverged at %q", id)
+		}
+	}
+	if len(a) != len(b) || len(a) != len(universe) {
+		t.Fatalf("replayed runs cover %d and %d points, want %d", len(a), len(b), len(universe))
+	}
+}
+
+func writeExpiredLease(t *testing.T, dir, sweep string, sp Spec) {
+	t.Helper()
+	stale := fmt.Sprintf(`{"owner":"ghost:1","acquired":%q,"expires":%q}`,
+		time.Now().Add(-time.Hour).Format(time.RFC3339Nano),
+		time.Now().Add(-30*time.Minute).Format(time.RFC3339Nano))
+	if err := os.WriteFile(LeasePath(dir, sweep, sp), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

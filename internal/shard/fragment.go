@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deltasched/internal/faults"
+	"deltasched/internal/obs"
+)
+
+// ErrFragmentIntegrity tags fragment read failures caused by a damaged
+// file (truncation, corruption, checksum mismatch) rather than a
+// missing one, so callers can distinguish "rewrite this shard" from
+// "this shard never ran". Use errors.Is.
+var ErrFragmentIntegrity = errors.New("shard: fragment integrity")
+
+// Fragment is one shard's checkpoint fragment: the sweep it belongs to,
+// the shard assignment, a hash of the full point-ID universe it was
+// partitioned from, and the completed records (point ID -> exact decimal
+// float string, the same value encoding the resume checkpoint uses).
+type Fragment struct {
+	Sweep        string
+	Shard        Spec
+	UniverseHash uint64
+	Records      map[string]string
+}
+
+const fragmentMagic = "deltasched-fragment v1"
+
+// FragmentPath names shard sp's fragment for a sweep inside dir.
+func FragmentPath(dir, sweep string, sp Spec) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%dof%d.frag", sanitize(sweep), sp.Index, sp.N))
+}
+
+// UniverseHash fingerprints a point-ID universe (FNV-64a over the IDs
+// in enumeration order). Fragments carry it so a merge can refuse
+// fragments computed against a different config — a shard run without
+// -quick, say — before confusing overlap/gap errors appear.
+func UniverseHash(ids []string) uint64 {
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// canonicalRecords renders the record block in canonical form: sorted
+// by point ID, one `"id" value` line each. Both the file body and the
+// footer checksum use this form, so the checksum is independent of
+// completion order.
+func canonicalRecords(records map[string]string) string {
+	ids := make([]string, 0, len(records))
+	for id := range records {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		b.WriteString(strconv.Quote(id))
+		b.WriteByte(' ')
+		b.WriteString(records[id])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteFragment persists f into dir atomically: unique temp file in the
+// same directory, fsync, rename. The file carries a footer with the
+// record count, canonical byte length and FNV-64a checksum, so readers
+// detect truncation and corruption. The returned path is FragmentPath.
+//
+// The injector hooks simulate write failures deterministically:
+// PartialWrite@shardIndex truncates the content before the rename (a
+// torn write that made it to the final name), CorruptFragment@shardIndex
+// flips one byte after a clean write. Production passes nil.
+func WriteFragment(dir string, f *Fragment, inj *faults.Injector) (string, error) {
+	if err := f.Shard.Validate(); err != nil {
+		return "", err
+	}
+	body := canonicalRecords(f.Records)
+	h := fnv.New64a()
+	h.Write([]byte(body))
+	content := fmt.Sprintf("%s sweep=%s shard=%s universe=%016x\n%sfooter records=%d bytes=%d fnv64a=%016x\n",
+		fragmentMagic, sanitize(f.Sweep), f.Shard, f.UniverseHash,
+		body, len(f.Records), len(body), h.Sum64())
+
+	data := []byte(content)
+	if inj.Fire(faults.PartialWrite, f.Shard.Index) {
+		data = data[:len(data)*2/3]
+	}
+
+	path := FragmentPath(dir, f.Sweep, f.Shard)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("shard: creating fragment temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) (string, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("shard: writing fragment: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("shard: syncing fragment: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("shard: closing fragment temp: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("shard: fragment permissions: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("shard: publishing fragment: %w", err)
+	}
+
+	if inj.Fire(faults.CorruptFragment, f.Shard.Index) {
+		corruptFile(path)
+	}
+	return path, nil
+}
+
+// corruptFile flips one byte in the middle of a file (the deterministic
+// CorruptFragment injection). Errors are ignored: a fault injector that
+// fails to injure the file just yields a passing run.
+func corruptFile(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) == 0 {
+		return
+	}
+	raw[len(raw)/2] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+}
+
+// ReadFragment loads and fully validates a fragment: magic header,
+// well-formed records, and a footer whose record count, byte length and
+// checksum match the canonical record block. Damage of any kind returns
+// an error wrapping ErrFragmentIntegrity; a missing file returns the
+// underlying not-exist error unwrapped, so os.IsNotExist still works.
+func ReadFragment(path string) (*Fragment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	bad := func(format string, args ...any) (*Fragment, error) {
+		return nil, fmt.Errorf("%w: %s: %s", ErrFragmentIntegrity, path, fmt.Sprintf(format, args...))
+	}
+	text := string(raw)
+	if !strings.HasSuffix(text, "\n") {
+		return bad("no trailing newline (truncated)")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) < 2 {
+		return bad("missing header or footer")
+	}
+
+	header, footer, recs := lines[0], lines[len(lines)-1], lines[1:len(lines)-1]
+	if !strings.HasPrefix(header, fragmentMagic+" ") {
+		return bad("bad magic %q", firstN(header, 40))
+	}
+	f := &Fragment{Records: make(map[string]string, len(recs))}
+	var shardStr string
+	if _, err := fmt.Sscanf(header[len(fragmentMagic)+1:], "sweep=%s shard=%s universe=%x",
+		&f.Sweep, &shardStr, &f.UniverseHash); err != nil {
+		return bad("bad header: %v", err)
+	}
+	if f.Shard, err = ParseSpec(shardStr); err != nil {
+		return bad("bad shard field: %v", err)
+	}
+
+	var wantRecords, wantBytes int
+	var wantSum uint64
+	if _, err := fmt.Sscanf(footer, "footer records=%d bytes=%d fnv64a=%x", &wantRecords, &wantBytes, &wantSum); err != nil {
+		return bad("bad footer %q (truncated?)", firstN(footer, 40))
+	}
+
+	for _, line := range recs {
+		sep := strings.LastIndexByte(line, ' ')
+		if sep < 0 {
+			return bad("bad record line %q", firstN(line, 40))
+		}
+		id, err := strconv.Unquote(line[:sep])
+		if err != nil {
+			return bad("bad record id in %q", firstN(line, 40))
+		}
+		val := line[sep+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return bad("record %q has bad value %q", id, val)
+		}
+		if _, dup := f.Records[id]; dup {
+			return bad("record %q appears twice", id)
+		}
+		f.Records[id] = val
+	}
+
+	body := canonicalRecords(f.Records)
+	h := fnv.New64a()
+	h.Write([]byte(body))
+	switch {
+	case len(f.Records) != wantRecords:
+		return bad("footer says %d records, file has %d", wantRecords, len(f.Records))
+	case len(body) != wantBytes:
+		return bad("footer says %d canonical bytes, file has %d", wantBytes, len(body))
+	case h.Sum64() != wantSum:
+		return bad("checksum mismatch: footer %016x, computed %016x", wantSum, h.Sum64())
+	}
+	return f, nil
+}
+
+// ValidFragment reports whether a complete, integrity-checked fragment
+// exists at path.
+func ValidFragment(path string) bool {
+	_, err := ReadFragment(path)
+	return err == nil
+}
+
+func firstN(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// fragmentsMerged counts fragments accepted by a merge (idempotent
+// registry lookup; shared across calls).
+func fragmentsMerged() *obs.Counter {
+	return obs.Default.Counter("shard_fragments_merged_total",
+		"integrity-checked checkpoint fragments accepted by a merge", nil)
+}

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"deltasched/internal/faults"
+)
+
+func testUniverse(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ex9/test/h=%d/x=0.%02d", i%4+2, i)
+	}
+	return ids
+}
+
+func testFragment(universe []string, sp Spec) *Fragment {
+	records := make(map[string]string)
+	for _, idx := range PartitionIndices(len(universe), sp) {
+		v := float64(idx)*1.25 + 0.125
+		if idx == 3 {
+			v = math.NaN() // infeasible points live in fragments too
+		}
+		records[universe[idx]] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return &Fragment{Sweep: "unit", Shard: sp, UniverseHash: UniverseHash(universe), Records: records}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(11)
+	want := testFragment(universe, Spec{1, 3})
+	path, err := WriteFragment(dir, want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != FragmentPath(dir, "unit", Spec{1, 3}) {
+		t.Fatalf("fragment landed at %s", path)
+	}
+	got, err := ReadFragment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep != "unit" || got.Shard != want.Shard || got.UniverseHash != want.UniverseHash {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for id, v := range want.Records {
+		if got.Records[id] != v {
+			t.Fatalf("record %q = %q, want %q", id, got.Records[id], v)
+		}
+	}
+}
+
+func TestFragmentDetectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(8)
+	frag := testFragment(universe, Spec{0, 2})
+	path, err := WriteFragment(dir, frag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string][]byte{
+		"truncated":       clean[:len(clean)*2/3],
+		"no-newline":      clean[:len(clean)-1],
+		"flipped-byte":    flip(clean, len(clean)/2),
+		"flipped-header":  flip(clean, 5),
+		"empty":           {},
+		"garbage":         []byte("not a fragment at all\n"),
+		"footer-severed":  clean[:len(clean)-10],
+		"record-injected": append(append([]byte{}, clean[:len(clean)-1]...), []byte("\n\"rogue\" 1\n")...),
+	}
+	for name, data := range damage {
+		p := filepath.Join(dir, name+".frag")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadFragment(p)
+		if err == nil {
+			t.Errorf("%s: damaged fragment read cleanly", name)
+			continue
+		}
+		if !errors.Is(err, ErrFragmentIntegrity) {
+			t.Errorf("%s: error %v does not wrap ErrFragmentIntegrity", name, err)
+		}
+		if ValidFragment(p) {
+			t.Errorf("%s: ValidFragment accepted damage", name)
+		}
+	}
+
+	if !ValidFragment(path) {
+		t.Fatal("pristine fragment rejected")
+	}
+	if _, err := ReadFragment(filepath.Join(dir, "absent.frag")); !os.IsNotExist(err) {
+		t.Fatalf("missing fragment: %v, want not-exist", err)
+	}
+}
+
+func flip(b []byte, at int) []byte {
+	out := append([]byte{}, b...)
+	out[at] ^= 0xff
+	return out
+}
+
+func TestWriteFragmentInjectors(t *testing.T) {
+	universe := testUniverse(9)
+
+	t.Run("partial", func(t *testing.T) {
+		dir := t.TempDir()
+		inj, _ := faults.Parse("partial@0")
+		path, err := WriteFragment(dir, testFragment(universe, Spec{0, 3}), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ValidFragment(path) {
+			t.Fatal("partial write produced a valid fragment")
+		}
+		// The injector is consumed: the rewrite is clean.
+		if _, err := WriteFragment(dir, testFragment(universe, Spec{0, 3}), inj); err != nil {
+			t.Fatal(err)
+		}
+		if !ValidFragment(path) {
+			t.Fatal("rewrite after partial injection still invalid")
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		inj, _ := faults.Parse("corrupt@2")
+		path, err := WriteFragment(dir, testFragment(universe, Spec{2, 3}), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ValidFragment(path) {
+			t.Fatal("corrupted fragment passed validation")
+		}
+	})
+}
+
+func TestUniverseHashOrderSensitive(t *testing.T) {
+	a := []string{"p1", "p2", "p3"}
+	b := []string{"p2", "p1", "p3"}
+	if UniverseHash(a) == UniverseHash(b) {
+		t.Fatal("universe hash ignores enumeration order")
+	}
+	if UniverseHash(a) != UniverseHash([]string{"p1", "p2", "p3"}) {
+		t.Fatal("universe hash is not deterministic")
+	}
+}
+
+func BenchmarkFragmentWriteReadMerge(b *testing.B) {
+	dir := b.TempDir()
+	universe := testUniverse(512)
+	frags := make([]*Fragment, 4)
+	for i := range frags {
+		frags[i] = testFragment(universe, Spec{i, 4})
+		frags[i].Sweep = "unit"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range frags {
+			if _, err := WriteFragment(dir, f, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := MergeDir(dir, "unit", universe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

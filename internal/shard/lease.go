@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"deltasched/internal/obs"
+)
+
+// ErrLeaseHeld reports that another live worker currently owns the
+// shard; the claimer should move on and retry after a while.
+var ErrLeaseHeld = errors.New("shard: lease held by another worker")
+
+// leaseFile is the JSON on-disk form of a lease. Expiry uses wall-clock
+// timestamps compared on the reading host: the protocol assumes the
+// workers of one sweep share a filesystem and reasonably synchronized
+// clocks (the DESIGN.md fault model).
+type leaseFile struct {
+	Owner    string    `json:"owner"`
+	Acquired time.Time `json:"acquired"`
+	Expires  time.Time `json:"expires"`
+}
+
+// Lease is an exclusive-ish claim on one shard: created O_EXCL, renewed
+// at TTL/3 by a background goroutine while the shard runs, removed by
+// Release. "Exclusive-ish" because expiry reclaim is at-least-once by
+// design — a worker presumed dead may still be running, and the system
+// stays correct because fragments are deterministic and written
+// atomically.
+type Lease struct {
+	path  string
+	owner string
+	ttl   time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// LeasePath names shard sp's lease file for a sweep inside dir.
+func LeasePath(dir, sweep string, sp Spec) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%dof%d.lease", sanitize(sweep), sp.Index, sp.N))
+}
+
+func leaseOwner() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+func leasesExpired() *obs.Counter {
+	return obs.Default.Counter("shard_leases_expired_total",
+		"expired shard leases reclaimed from presumed-dead workers", nil)
+}
+
+// AcquireLease claims shard sp for a sweep. A fresh claim creates the
+// lease file O_EXCL; a lease whose expiry has passed (or whose contents
+// are unreadable — a torn write by a crashed worker) is taken over via
+// an atomic replace and counted in shard_leases_expired_total. A live
+// lease returns ErrLeaseHeld.
+func AcquireLease(dir, sweep string, sp Spec, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("shard: lease TTL must be positive, got %v", ttl)
+	}
+	l := &Lease{
+		path:  LeasePath(dir, sweep, sp),
+		owner: leaseOwner(),
+		ttl:   ttl,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+
+	data := l.marshal()
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	switch {
+	case err == nil:
+		_, werr := f.Write(data)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(l.path)
+			return nil, fmt.Errorf("shard: writing lease: %w", errors.Join(werr, cerr))
+		}
+	case os.IsExist(err):
+		raw, rerr := os.ReadFile(l.path)
+		var cur leaseFile
+		parseOK := rerr == nil && json.Unmarshal(raw, &cur) == nil
+		if parseOK && time.Now().Before(cur.Expires) {
+			return nil, fmt.Errorf("%w: %s owned by %s until %s",
+				ErrLeaseHeld, sp, cur.Owner, cur.Expires.Format(time.RFC3339))
+		}
+		// Expired or torn: take over with an atomic replace. Two workers
+		// racing this both think they own the shard — at-least-once, and
+		// harmless because the fragment they produce is identical.
+		if err := l.replace(data); err != nil {
+			return nil, err
+		}
+		leasesExpired().Inc()
+	default:
+		return nil, fmt.Errorf("shard: creating lease: %w", err)
+	}
+
+	go l.renewLoop()
+	return l, nil
+}
+
+func (l *Lease) marshal() []byte {
+	now := time.Now()
+	data, _ := json.Marshal(leaseFile{Owner: l.owner, Acquired: now, Expires: now.Add(l.ttl)})
+	return append(data, '\n')
+}
+
+// replace atomically overwrites the lease file (temp + rename).
+func (l *Lease) replace(data []byte) error {
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("shard: lease takeover: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shard: lease takeover: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shard: lease takeover: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shard: lease takeover: %w", err)
+	}
+	return nil
+}
+
+// renewLoop extends the lease at TTL/3 until Release. A renewal failure
+// is not fatal: the worst case is a concurrent reclaim, which the
+// at-least-once design absorbs.
+func (l *Lease) renewLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.replace(l.marshal())
+		}
+	}
+}
+
+// Release stops renewal and removes the lease file. Safe to call more
+// than once.
+func (l *Lease) Release() {
+	l.stopOnce.Do(func() {
+		close(l.stop)
+		<-l.done
+		os.Remove(l.path)
+	})
+}

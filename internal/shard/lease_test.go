@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestLeaseExcludesSecondClaimant(t *testing.T) {
+	dir := t.TempDir()
+	sp := Spec{0, 2}
+	l, err := AcquireLease(dir, "unit", sp, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if _, err := AcquireLease(dir, "unit", sp, time.Minute); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("second acquire: %v, want ErrLeaseHeld", err)
+	}
+	// A different shard is independent.
+	l2, err := AcquireLease(dir, "unit", Spec{1, 2}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Release()
+}
+
+func TestLeaseReleaseFreesTheShard(t *testing.T) {
+	dir := t.TempDir()
+	sp := Spec{0, 1}
+	l, err := AcquireLease(dir, "unit", sp, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	l.Release() // idempotent
+	if _, err := os.Stat(LeasePath(dir, "unit", sp)); !os.IsNotExist(err) {
+		t.Fatalf("lease file survives release: %v", err)
+	}
+	l2, err := AcquireLease(dir, "unit", sp, time.Minute)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+func TestLeaseExpiredIsReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	sp := Spec{0, 3}
+	// A dead worker's lease: expired timestamps, no renewal goroutine.
+	stale, _ := json.Marshal(leaseFile{
+		Owner:    "ghost:1",
+		Acquired: time.Now().Add(-time.Hour),
+		Expires:  time.Now().Add(-30 * time.Minute),
+	})
+	if err := os.WriteFile(LeasePath(dir, "unit", sp), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLease(dir, "unit", sp, time.Minute)
+	if err != nil {
+		t.Fatalf("expired lease not reclaimed: %v", err)
+	}
+	l.Release()
+}
+
+func TestLeaseTornFileIsReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	sp := Spec{1, 3}
+	if err := os.WriteFile(LeasePath(dir, "unit", sp), []byte(`{"owner": "gho`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLease(dir, "unit", sp, time.Minute)
+	if err != nil {
+		t.Fatalf("torn lease not reclaimed: %v", err)
+	}
+	l.Release()
+}
+
+func TestLeaseRenewalExtendsExpiry(t *testing.T) {
+	dir := t.TempDir()
+	sp := Spec{0, 1}
+	l, err := AcquireLease(dir, "unit", sp, 90*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	// After several TTLs the lease must still be live thanks to renewal.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	raw, err := os.ReadFile(LeasePath(dir, "unit", sp))
+	if err != nil {
+		t.Fatalf("lease file vanished during renewal: %v", err)
+	}
+	var lf leaseFile
+	if err := json.Unmarshal(raw, &lf); err != nil {
+		t.Fatalf("renewed lease unparsable: %v", err)
+	}
+	if !time.Now().Before(lf.Expires) {
+		t.Fatalf("lease expired despite renewal (expires %v)", lf.Expires)
+	}
+}

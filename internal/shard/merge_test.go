@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// writeShards writes valid fragments for every shard of the universe.
+func writeShards(t *testing.T, dir string, universe []string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		f := testFragment(universe, Spec{i, n})
+		if _, err := WriteFragment(dir, f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeDirReassemblesUniverse(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(13)
+	writeShards(t, dir, universe, 3)
+	merged, stats, err := MergeDir(dir, "unit", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fragments != 3 || stats.Records != len(universe) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for idx, id := range universe {
+		want := testFragment(universe, Spec{idx % 3, 3}).Records[id]
+		if merged[id] != want {
+			t.Fatalf("point %q = %q, want %q", id, merged[id], want)
+		}
+	}
+}
+
+func TestMergeDirSingleShardEqualsFullSweep(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(5)
+	writeShards(t, dir, universe, 1)
+	merged, _, err := MergeDir(dir, "unit", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(universe) {
+		t.Fatalf("merged %d of %d points", len(merged), len(universe))
+	}
+}
+
+func TestMergeDirDetectsGaps(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(10)
+	// Shard 1 of 3 never ran.
+	for _, i := range []int{0, 2} {
+		if _, err := WriteFragment(dir, testFragment(universe, Spec{i, 3}), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := MergeDir(dir, "unit", universe)
+	if err == nil {
+		t.Fatal("gap not detected")
+	}
+	if !strings.Contains(err.Error(), "1/3") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gap error does not name the missing shard: %v", err)
+	}
+}
+
+func TestMergeDirRejectsCorruptFragment(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(10)
+	writeShards(t, dir, universe, 2)
+	corruptFile(FragmentPath(dir, "unit", Spec{1, 2}))
+	_, _, err := MergeDir(dir, "unit", universe)
+	if err == nil || !strings.Contains(err.Error(), "1of2") {
+		t.Fatalf("corrupt fragment not rejected by name: %v", err)
+	}
+}
+
+func TestMergeDirRejectsUniverseMismatch(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(10)
+	other := testUniverse(12) // different enumeration (e.g. run without -quick)
+	if _, err := WriteFragment(dir, testFragment(other, Spec{0, 1}), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := MergeDir(dir, "unit", universe)
+	if err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Fatalf("universe mismatch not detected: %v", err)
+	}
+}
+
+func TestMergeDirRejectsMixedShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(10)
+	if _, err := WriteFragment(dir, testFragment(universe, Spec{0, 2}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFragment(dir, testFragment(universe, Spec{1, 3}), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := MergeDir(dir, "unit", universe)
+	if err == nil {
+		t.Fatal("mixed shard counts accepted")
+	}
+}
+
+func TestMergeDirRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(6)
+	// A full single-shard fragment plus a 2-shard fragment: every point
+	// of the second file overlaps the first (and fails membership for a
+	// mixed-N merge) — either way the merge must refuse.
+	if _, err := WriteFragment(dir, testFragment(universe, Spec{0, 1}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFragment(dir, testFragment(universe, Spec{0, 2}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeDir(dir, "unit", universe); err == nil {
+		t.Fatal("overlapping fragments accepted")
+	}
+}
+
+func TestMergeDirEmptyDir(t *testing.T) {
+	if _, _, err := MergeDir(t.TempDir(), "unit", testUniverse(3)); err == nil {
+		t.Fatal("empty directory merged")
+	}
+	if _, _, err := MergeDir("/no/such/dir", "unit", nil); err == nil {
+		t.Fatal("missing directory merged")
+	}
+}

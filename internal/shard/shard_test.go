@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]Spec{
+		"0/1": {0, 1},
+		"0/3": {0, 3},
+		"2/3": {2, 3},
+	}
+	for s, want := range good {
+		got, err := ParseSpec(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSpec(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "3", "a/b", "1/0", "-1/3", "3/3", "0/-2", "1/2/3"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", s)
+		}
+	}
+}
+
+func TestPartitionIndicesCoverDisjointly(t *testing.T) {
+	for _, tc := range []struct{ total, n int }{
+		{0, 3}, {1, 3}, {5, 1}, {10, 3}, {10, 4}, {3, 7},
+	} {
+		seen := make(map[int]int)
+		for i := 0; i < tc.n; i++ {
+			for _, idx := range PartitionIndices(tc.total, Spec{i, tc.n}) {
+				if idx%tc.n != i {
+					t.Fatalf("total=%d n=%d: index %d assigned to shard %d", tc.total, tc.n, idx, i)
+				}
+				seen[idx]++
+			}
+		}
+		if len(seen) != tc.total {
+			t.Fatalf("total=%d n=%d: partition covers %d indices", tc.total, tc.n, len(seen))
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("total=%d n=%d: index %d owned by %d shards", tc.total, tc.n, idx, c)
+			}
+		}
+	}
+}
+
+func TestPartitionIsBalanced(t *testing.T) {
+	sizes := make([]int, 3)
+	for i := range sizes {
+		sizes[i] = len(PartitionIndices(100, Spec{i, 3}))
+	}
+	for _, s := range sizes {
+		if s < 33 || s > 34 {
+			t.Fatalf("unbalanced partition sizes %v", sizes)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("fig1"); got != "fig1" {
+		t.Fatalf("sanitize(fig1) = %q", got)
+	}
+	if got := sanitize("a b/c:d"); got != "a_b_c_d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deltasched/internal/core"
+)
+
+// evalLinear is the deterministic test workload: value = idx*1.25+0.125.
+func evalLinear(_ context.Context, idx int, _ string) (float64, error) {
+	return float64(idx)*1.25 + 0.125, nil
+}
+
+func newTestWorker(dir string, universe []string, n int) *Worker {
+	return &Worker{
+		Dir:      dir,
+		Sweep:    "unit",
+		N:        n,
+		Universe: universe,
+		Eval:     evalLinear,
+		Retry:    RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, AttemptTimeout: 200 * time.Millisecond},
+		Workers:  2,
+		LeaseTTL: time.Second,
+	}
+}
+
+func TestWorkerRunShardWritesValidFragment(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(10)
+	w := newTestWorker(dir, universe, 3)
+	var done atomic.Int32
+	w.OnProgress = func(d, total int) {
+		done.Store(int32(d))
+		if total != 4 { // shard 0/3 of 10 points owns indices 0,3,6,9
+			t.Errorf("progress total = %d, want 4", total)
+		}
+	}
+	recs, err := w.RunShard(context.Background(), Spec{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || done.Load() != 4 {
+		t.Fatalf("shard 0/3 produced %d records, %d progress", len(recs), done.Load())
+	}
+	f, err := ReadFragment(FragmentPath(dir, "unit", Spec{0, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records[universe[3]] != strconv.FormatFloat(3*1.25+0.125, 'g', -1, 64) {
+		t.Fatalf("wrong value for point 3: %q", f.Records[universe[3]])
+	}
+}
+
+func TestWorkerPermanentErrorAbortsShard(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(6)
+	w := newTestWorker(dir, universe, 1)
+	w.Eval = func(_ context.Context, idx int, _ string) (float64, error) {
+		if idx == 2 {
+			return 0, fmt.Errorf("x: %w", core.ErrBadConfig)
+		}
+		return 1, nil
+	}
+	if _, err := w.RunShard(context.Background(), Spec{0, 1}); !errors.Is(err, core.ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+	if ValidFragment(FragmentPath(dir, "unit", Spec{0, 1})) {
+		t.Fatal("failed shard still published a fragment")
+	}
+}
+
+func TestWorkerClaimCompletesSweep(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(11)
+	w := newTestWorker(dir, universe, 3)
+	if err := w.Claim(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := MergeDir(dir, "unit", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fragments != 3 || len(merged) != len(universe) {
+		t.Fatalf("claim left an incomplete sweep: %+v", stats)
+	}
+}
+
+// TestWorkerClaimConcurrentWorkers races several claim loops over one
+// sweep under -race: all must return, the sweep must be complete, and
+// no two fragments may disagree.
+func TestWorkerClaimConcurrentWorkers(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(20)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := newTestWorker(dir, universe, 5)
+			errs[g] = w.Claim(context.Background())
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", g, err)
+		}
+	}
+	merged, _, err := MergeDir(dir, "unit", universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, id := range universe {
+		want := strconv.FormatFloat(float64(idx)*1.25+0.125, 'g', -1, 64)
+		if merged[id] != want {
+			t.Fatalf("point %d = %q, want %q", idx, merged[id], want)
+		}
+	}
+}
+
+func TestWorkerClaimHonoursCancellation(t *testing.T) {
+	dir := t.TempDir()
+	universe := testUniverse(4)
+	// Park a foreign live lease on the only shard so Claim must wait.
+	l, err := AcquireLease(dir, "unit", Spec{0, 1}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	w := newTestWorker(dir, universe, 1)
+	// Same process owns the lease, so AcquireLease inside Claim sees it
+	// held; Claim parks in its wait loop until ctx expires.
+	if err := w.Claim(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked claim returned %v, want DeadlineExceeded", err)
+	}
+}
