@@ -29,22 +29,27 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Record the benchmark trajectory: run the suite and write BENCH_PR6.json
+# Record the benchmark trajectory: run the suite and write BENCH_PR8.json
 # with ns/op, B/op, allocs/op, custom metrics, and the git SHA, diffed
-# against the committed PR 5 baseline (-before). See DESIGN.md's
+# against the committed PR 7 baseline (-before). See DESIGN.md's
 # Performance section for how to read the trajectory files.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -before BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json -before BENCH_PR7.json
 
 # Regression gate over the committed trajectory: fail when the newest
 # BENCH_PR*.json regressed past 15% in ns/op or allocs/op against its
-# predecessor.
+# predecessor. A committed CALIB_<newest>.json — the OLD code re-run in
+# the new recording's environment (git worktree at the baseline commit,
+# same machine) — calibrates the ns/op gate for shared-machine drift;
+# see benchjson -calibrate.
 bench-diff:
 	@files=$$(ls BENCH_PR*.json | sort -V | tail -2); \
 	set -- $$files; \
 	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_PR*.json files, have: $$files"; exit 0; fi; \
-	echo "benchjson -diff $$1 $$2 -threshold 15"; \
-	$(GO) run ./cmd/benchjson -diff $$1 $$2 -threshold 15
+	calib=""; \
+	if [ -f CALIB_$$2 ]; then calib="-calibrate CALIB_$$2"; fi; \
+	echo "benchjson -diff $$1 $$2 -threshold 15 $$calib"; \
+	$(GO) run ./cmd/benchjson -diff $$1 $$2 -threshold 15 $$calib
 
 # One-iteration pass over every benchmark: catches benchmarks that
 # panic or fail without paying for a timed run.

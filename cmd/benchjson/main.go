@@ -86,6 +86,7 @@ func run(args []string) error {
 	pkgs := fs.String("packages", "./...", "packages to benchmark")
 	diff := fs.Bool("diff", false, "compare two benchjson files (old new) and exit nonzero on regressions")
 	threshold := fs.Float64("threshold", 15, "with -diff: regression tolerance in percent for ns/op and allocs/op")
+	calibrate := fs.String("calibrate", "", "with -diff: benchjson file recorded by re-running the OLD code in the NEW file's environment; ns/op gates against max(old, calibrated) so shared-machine drift does not read as a code regression (allocs still gate against old)")
 	// The flag package stops at the first positional, so `-diff old new
 	// -threshold 20` would silently ignore the trailing flag. Re-parse
 	// around positionals until the argument list is exhausted.
@@ -103,7 +104,10 @@ func run(args []string) error {
 		if len(positionals) != 2 {
 			return fmt.Errorf("-diff needs exactly two files (old.json new.json), got %d", len(positionals))
 		}
-		return runDiff(positionals[0], positionals[1], *threshold)
+		return runDiff(positionals[0], positionals[1], *calibrate, *threshold)
+	}
+	if *calibrate != "" {
+		return fmt.Errorf("-calibrate is only meaningful with -diff")
 	}
 	if len(positionals) != 0 {
 		return fmt.Errorf("unexpected arguments %q (positional files are only used with -diff)", positionals)
@@ -184,7 +188,15 @@ func run(args []string) error {
 // always gate; ns/op only gates when both files were recorded on the
 // same CPU — across machines a wall-time delta measures the hardware,
 // not the code, so it degrades to a warning.
-func runDiff(oldPath, newPath string, threshold float64) error {
+//
+// Even on one CPU string a shared machine can drift between recording
+// days (tenancy, thermal state). The honest control is a same-day A/B:
+// re-run the old code in the new environment and pass the result as
+// -calibrate. For every benchmark present in the calibration file the
+// ns/op gate compares against max(old, calibrated) — if the old code is
+// just as slow today, the delta measures the machine, not the change —
+// and the lifted baselines are reported so the drift stays visible.
+func runDiff(oldPath, newPath, calibPath string, threshold float64) error {
 	oldM, oldCPU, err := loadDiffSide(oldPath)
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", oldPath, err)
@@ -192,6 +204,19 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 	newM, newCPU, err := loadDiffSide(newPath)
 	if err != nil {
 		return fmt.Errorf("loading %s: %w", newPath, err)
+	}
+	calM := map[string]*Measurement{}
+	if calibPath != "" {
+		var calCPU string
+		calM, calCPU, err = loadDiffSide(calibPath)
+		if err != nil {
+			return fmt.Errorf("loading -calibrate %s: %w", calibPath, err)
+		}
+		if calCPU != newCPU {
+			return fmt.Errorf("-calibrate %s was recorded on %q, the new file on %q: a calibration must share the new file's environment",
+				calibPath, calCPU, newCPU)
+		}
+		fmt.Printf("note: ns/op calibrated against a same-environment re-run of the old code (%s)\n", calibPath)
 	}
 	sameCPU := oldCPU == newCPU
 	if !sameCPU {
@@ -213,9 +238,18 @@ func runDiff(oldPath, newPath string, threshold float64) error {
 			fmt.Printf("%-34s %14s → %-14.4g ns/op  (new)\n", name, "-", nw.NsPerOp)
 			continue
 		}
-		nsPct := pctChange(od.NsPerOp, nw.NsPerOp)
+		baseNs := od.NsPerOp
+		calibrated := false
+		if cal, ok := calM[name]; ok && cal.NsPerOp > baseNs {
+			baseNs = cal.NsPerOp
+			calibrated = true
+		}
+		nsPct := pctChange(baseNs, nw.NsPerOp)
 		allocPct := pctChange(od.AllocsPerOp, nw.AllocsPerOp)
 		verdict := "ok"
+		if calibrated {
+			verdict = fmt.Sprintf("ok (calibrated baseline %.4g)", baseNs)
+		}
 		switch {
 		case nsPct > threshold && sameCPU:
 			verdict = fmt.Sprintf("REGRESSION ns/op %+.1f%% > %g%%", nsPct, threshold)

@@ -82,7 +82,7 @@ func TestRunDiff(t *testing.T) {
 			"BenchmarkB":   {1900, 0},
 			"BenchmarkNew": {1, 99}, // new benchmarks never fail the gate
 		})
-		if err := runDiff(oldPath, newPath, 15); err != nil {
+		if err := runDiff(oldPath, newPath, "", 15); err != nil {
 			t.Errorf("diff within threshold failed: %v", err)
 		}
 	})
@@ -91,10 +91,10 @@ func TestRunDiff(t *testing.T) {
 			"BenchmarkA": {1200, 4}, // +20% ns/op
 			"BenchmarkB": {2000, 0},
 		})
-		if err := runDiff(oldPath, newPath, 15); err == nil {
+		if err := runDiff(oldPath, newPath, "", 15); err == nil {
 			t.Error("+20%% ns/op must fail a 15%% gate")
 		}
-		if err := runDiff(oldPath, newPath, 25); err != nil {
+		if err := runDiff(oldPath, newPath, "", 25); err != nil {
 			t.Errorf("+20%% ns/op must pass a 25%% gate: %v", err)
 		}
 	})
@@ -103,7 +103,7 @@ func TestRunDiff(t *testing.T) {
 			"BenchmarkA": {1000, 5}, // +25% allocs/op
 			"BenchmarkB": {2000, 0},
 		})
-		if err := runDiff(oldPath, newPath, 15); err == nil {
+		if err := runDiff(oldPath, newPath, "", 15); err == nil {
 			t.Error("+25%% allocs/op must fail a 15%% gate")
 		}
 	})
@@ -122,12 +122,70 @@ func TestRunDiff(t *testing.T) {
 		}
 		writeCPU(oldPath, "cpuA", 1000, 4)
 		writeCPU(newPath, "cpuB", 2000, 4) // +100% ns/op on different hardware
-		if err := runDiff(oldPath, newPath, 15); err != nil {
+		if err := runDiff(oldPath, newPath, "", 15); err != nil {
 			t.Errorf("cross-CPU ns delta must not fail the gate: %v", err)
 		}
 		writeCPU(newPath, "cpuB", 2000, 6) // +50% allocs/op is machine-independent
-		if err := runDiff(oldPath, newPath, 15); err == nil {
+		if err := runDiff(oldPath, newPath, "", 15); err == nil {
 			t.Error("alloc regression must fail even across CPUs")
+		}
+		// Restore the shared old file for later subtests.
+		writeBenchFile(t, oldPath, map[string][2]float64{
+			"BenchmarkA":    {1000, 4},
+			"BenchmarkB":    {2000, 0},
+			"BenchmarkGone": {50, 0},
+		})
+	})
+	t.Run("calibrated baseline absorbs environment drift", func(t *testing.T) {
+		calPath := filepath.Join(dir, "cal.json")
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA": {1400, 4}, // +40% vs old — would fail uncalibrated
+			"BenchmarkB": {2900, 0}, // +45%, but NOT covered by the calibration
+		})
+		if err := runDiff(oldPath, newPath, "", 15); err == nil {
+			t.Error("+40%% ns/op must fail without calibration")
+		}
+		// The old code re-run today is just as slow on A: machine drift.
+		writeBenchFile(t, calPath, map[string][2]float64{"BenchmarkA": {1450, 4}})
+		if err := runDiff(oldPath, newPath, calPath, 15); err == nil {
+			t.Error("uncalibrated BenchmarkB must still gate against the old file")
+		}
+		writeBenchFile(t, calPath, map[string][2]float64{
+			"BenchmarkA": {1450, 4},
+			"BenchmarkB": {2800, 0},
+		})
+		if err := runDiff(oldPath, newPath, calPath, 15); err != nil {
+			t.Errorf("same-environment re-run of the old code must absorb the drift: %v", err)
+		}
+		// A calibration slower than the new run never hides a real win,
+		// and a genuine regression past the calibrated baseline still fails.
+		writeBenchFile(t, newPath, map[string][2]float64{
+			"BenchmarkA": {1800, 4}, // +24% over the calibrated 1450
+			"BenchmarkB": {2000, 0},
+		})
+		if err := runDiff(oldPath, newPath, calPath, 15); err == nil {
+			t.Error("regression past the calibrated baseline must still fail")
+		}
+	})
+	t.Run("calibration from another environment is rejected", func(t *testing.T) {
+		writeEnv := func(path, cpu string, ns float64) {
+			f := &File{Schema: "deltasched-bench/v1", CPU: cpu, Benchmarks: map[string]*Entry{
+				"BenchmarkA": {After: &Measurement{Iterations: 1, NsPerOp: ns, AllocsPerOp: 4}},
+			}}
+			buf, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		calPath := filepath.Join(dir, "calenv.json")
+		writeEnv(oldPath, "cpuA", 1000)
+		writeEnv(newPath, "cpuA", 1400)
+		writeEnv(calPath, "cpuZ", 1450)
+		if err := runDiff(oldPath, newPath, calPath, 15); err == nil {
+			t.Error("calibration recorded on a different CPU must be rejected")
 		}
 		// Restore the shared old file for later subtests.
 		writeBenchFile(t, oldPath, map[string][2]float64{
@@ -141,7 +199,7 @@ func TestRunDiff(t *testing.T) {
 			"BenchmarkA": {1000, 4},
 			"BenchmarkB": {2000, 1}, // 0 → 1 allocs/op
 		})
-		if err := runDiff(oldPath, newPath, 1e9); err == nil {
+		if err := runDiff(oldPath, newPath, "", 1e9); err == nil {
 			t.Error("0 → 1 allocs/op must fail regardless of threshold")
 		}
 	})

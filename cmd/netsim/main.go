@@ -4,7 +4,11 @@
 // fraction of the bound must stay below the configured probability.
 // -backend selects the engines: both (default) validates the bound
 // against the simulation, sim runs the simulator alone, analytic
-// computes only the bound.
+// computes only the bound. -measure selects the delay summary backend:
+// exact (default, full per-slot samples, byte-identical to historical
+// outputs) or sketch (fixed-memory mergeable quantile sketch whose
+// guaranteed rank-error bound is printed alongside the quantiles —
+// use it for horizons where retaining every sample will not fit).
 //
 // Telemetry: -report embeds the metric snapshot (sim_slots_total,
 // optimizer counters) and the span tree, -tracefile writes a Chrome
@@ -106,6 +110,11 @@ func run(args []string) error {
 			}
 			if mx, err := dist.Max(); err == nil {
 				fmt.Printf("delay max        : %d slots\n", mx)
+			}
+			if re := dist.RankError(); re > 0 {
+				fmt.Printf("quantile error   : rank within +%.3g of requested (%s backend, %d B resident)\n",
+					re, dist.BackendName(), dist.MemoryBytes())
+				a.Sess.Report.SetMetric("quantile_rank_error", re)
 			}
 			if det.Reps > 1 {
 				if mean, half, err := measure.QuantileCI(det.PerRep, 1-*eps); err == nil {

@@ -32,6 +32,20 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+func TestRunSketchMeasure(t *testing.T) {
+	// The sketch backend must survive a horizon 10x the smoke test's and
+	// still report quantiles plus its rank-error line; the pipeline is the
+	// same end to end, only the summary representation changes.
+	err := run([]string{"-H", "2", "-C", "20", "-n0", "5", "-nc", "10",
+		"-slots", "20000", "-eps", "1e-2", "-measure", "sketch", "-reps", "2", "-ccdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-measure", "histogram"}); err == nil {
+		t.Fatal("unknown measurement backend must error")
+	}
+}
+
 func TestRunBackendSelection(t *testing.T) {
 	// The sim backend skips the bound, the analytic backend skips the
 	// simulation; both must still exit cleanly.

@@ -1,0 +1,185 @@
+package measure
+
+// This file defines the wire form of a Summary for shard fragments:
+// a single space-free token (fragment records are "id value" lines
+// split on the last space, so the value must never contain one),
+// prefixed "m1:" to distinguish it from the plain floats analytic
+// sweeps emit. Floats round-trip exactly via strconv's shortest 'g'
+// form, so a decoded summary is bit-identical to the encoded one and
+// sharded sim sweeps merge byte-identical to single-process runs.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// summaryPrefix marks an encoded summary value in a fragment record.
+const summaryPrefix = "m1:"
+
+// IsEncodedSummary reports whether a fragment value carries an encoded
+// summary rather than a plain float.
+func IsEncodedSummary(v string) bool { return strings.HasPrefix(v, summaryPrefix) }
+
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// EncodeSummary renders a summary as one space-free token:
+//
+//	m1:exact;c=<censored>;t=<total>;<delay>:<bits>,...
+//	m1:sketch;k=<SketchK>;c=<censored>;t=<total>;s=<sumDB>;n=<adds>;<lo>:<v>:<g>:<d>,...
+//
+// The sketch form embeds its compression parameter so decoding rejects
+// a build with a different SketchK instead of merging incompatible
+// summaries.
+func EncodeSummary(sum Summary) (string, error) {
+	var b strings.Builder
+	switch s := sum.(type) {
+	case *Distribution:
+		b.WriteString(summaryPrefix)
+		b.WriteString("exact;c=")
+		b.WriteString(fmtF(s.censored))
+		b.WriteString(";t=")
+		b.WriteString(fmtF(s.totalBits))
+		b.WriteString(";")
+		for i := range s.delays {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(s.delays[i]))
+			b.WriteByte(':')
+			b.WriteString(fmtF(s.weights[i]))
+		}
+	case *Sketch:
+		s.flush() // encode the pure tuple form
+		b.WriteString(summaryPrefix)
+		b.WriteString("sketch;k=")
+		b.WriteString(strconv.Itoa(SketchK))
+		b.WriteString(";c=")
+		b.WriteString(fmtF(s.censored))
+		b.WriteString(";t=")
+		b.WriteString(fmtF(s.total))
+		b.WriteString(";s=")
+		b.WriteString(fmtF(s.sumDB))
+		b.WriteString(";n=")
+		b.WriteString(strconv.Itoa(s.adds))
+		b.WriteString(";")
+		for i, t := range s.tuples {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d:%d:%s:%s", t.lo, t.v, fmtF(t.g), fmtF(t.d))
+		}
+	default:
+		return "", fmt.Errorf("measure: cannot encode %s summary", sum.BackendName())
+	}
+	return b.String(), nil
+}
+
+// field extracts the "<key>=" prefixed field, failing loudly so a
+// corrupted fragment is rejected rather than half-decoded.
+func field(part, key string) (string, error) {
+	if !strings.HasPrefix(part, key+"=") {
+		return "", fmt.Errorf("measure: summary field %q is not %q", part, key)
+	}
+	return part[len(key)+1:], nil
+}
+
+func fieldF(part, key string) (float64, error) {
+	v, err := field(part, key)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func fieldI(part, key string) (int, error) {
+	v, err := field(part, key)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(v)
+}
+
+// DecodeSummary parses a token produced by EncodeSummary back into a
+// summary of the same backend, bit-identical to the original.
+func DecodeSummary(v string) (Summary, error) {
+	if !IsEncodedSummary(v) {
+		return nil, fmt.Errorf("measure: %q is not an encoded summary", v)
+	}
+	parts := strings.Split(v[len(summaryPrefix):], ";")
+	switch {
+	case len(parts) == 4 && parts[0] == "exact":
+		d := &Distribution{}
+		var err error
+		if d.censored, err = fieldF(parts[1], "c"); err != nil {
+			return nil, fmt.Errorf("measure: bad exact summary: %w", err)
+		}
+		if d.totalBits, err = fieldF(parts[2], "t"); err != nil {
+			return nil, fmt.Errorf("measure: bad exact summary: %w", err)
+		}
+		if parts[3] != "" {
+			samples := strings.Split(parts[3], ",")
+			d.delays = make([]int, len(samples))
+			d.weights = make([]float64, len(samples))
+			for i, sm := range samples {
+				k, w, ok := strings.Cut(sm, ":")
+				if !ok {
+					return nil, fmt.Errorf("measure: bad exact sample %q", sm)
+				}
+				if d.delays[i], err = strconv.Atoi(k); err != nil {
+					return nil, fmt.Errorf("measure: bad exact sample %q: %w", sm, err)
+				}
+				if d.weights[i], err = strconv.ParseFloat(w, 64); err != nil {
+					return nil, fmt.Errorf("measure: bad exact sample %q: %w", sm, err)
+				}
+			}
+		}
+		return d, nil
+	case len(parts) == 7 && parts[0] == "sketch":
+		k, err := fieldI(parts[1], "k")
+		if err != nil {
+			return nil, fmt.Errorf("measure: bad sketch summary: %w", err)
+		}
+		if k != SketchK {
+			return nil, fmt.Errorf("measure: sketch compression mismatch: encoded K=%d, built with K=%d", k, SketchK)
+		}
+		s := NewSketch()
+		if s.censored, err = fieldF(parts[2], "c"); err != nil {
+			return nil, fmt.Errorf("measure: bad sketch summary: %w", err)
+		}
+		if s.total, err = fieldF(parts[3], "t"); err != nil {
+			return nil, fmt.Errorf("measure: bad sketch summary: %w", err)
+		}
+		if s.sumDB, err = fieldF(parts[4], "s"); err != nil {
+			return nil, fmt.Errorf("measure: bad sketch summary: %w", err)
+		}
+		if s.adds, err = fieldI(parts[5], "n"); err != nil {
+			return nil, fmt.Errorf("measure: bad sketch summary: %w", err)
+		}
+		if parts[6] != "" {
+			for _, tok := range strings.Split(parts[6], ",") {
+				fs := strings.Split(tok, ":")
+				if len(fs) != 4 {
+					return nil, fmt.Errorf("measure: bad sketch tuple %q", tok)
+				}
+				var t tuple
+				if t.lo, err = strconv.Atoi(fs[0]); err != nil {
+					return nil, fmt.Errorf("measure: bad sketch tuple %q: %w", tok, err)
+				}
+				if t.v, err = strconv.Atoi(fs[1]); err != nil {
+					return nil, fmt.Errorf("measure: bad sketch tuple %q: %w", tok, err)
+				}
+				if t.g, err = strconv.ParseFloat(fs[2], 64); err != nil {
+					return nil, fmt.Errorf("measure: bad sketch tuple %q: %w", tok, err)
+				}
+				if t.d, err = strconv.ParseFloat(fs[3], 64); err != nil {
+					return nil, fmt.Errorf("measure: bad sketch tuple %q: %w", tok, err)
+				}
+				s.tuples = append(s.tuples, t)
+			}
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("measure: unrecognized summary encoding %q", v)
+	}
+}

@@ -1,0 +1,104 @@
+package measure
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Round-trips must be bit-identical so sharded sim sweeps merge
+// byte-identical to single-process runs, and the token must be
+// space-free (fragment records split on the last space).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := &Distribution{}
+	s := NewSketch()
+	for i := 0; i < 20_000; i++ {
+		delay, bits := rng.Intn(100_000), rng.Float64()*3
+		d.Add(delay, bits)
+		s.Add(delay, bits)
+	}
+	d.AddCensored(0.125)
+	s.AddCensored(0.125)
+
+	for _, sum := range []Summary{d, s, &Distribution{}, NewSketch()} {
+		enc, err := EncodeSummary(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.ContainsAny(enc, " \t\n") {
+			t.Fatalf("%s encoding contains whitespace", sum.BackendName())
+		}
+		if !IsEncodedSummary(enc) {
+			t.Fatalf("%s encoding not recognized: %q", sum.BackendName(), enc[:min(40, len(enc))])
+		}
+		dec, err := DecodeSummary(enc)
+		if err != nil {
+			t.Fatalf("%s decode: %v", sum.BackendName(), err)
+		}
+		switch want := sum.(type) {
+		case *Distribution:
+			if !distEqual(*dec.(*Distribution), *want) {
+				t.Fatal("exact round-trip not bit-identical")
+			}
+		case *Sketch:
+			got := dec.(*Sketch)
+			if !reflect.DeepEqual(got.tuples, want.tuples) || got.total != want.total ||
+				got.censored != want.censored || got.sumDB != want.sumDB || got.adds != want.adds {
+				t.Fatal("sketch round-trip not bit-identical")
+			}
+		}
+	}
+}
+
+// A decoded sketch must keep merging bit-identically with live ones —
+// the property sharded sweeps depend on.
+func TestDecodedSketchMergesBitIdentical(t *testing.T) {
+	a := mkRandomSketch(1, 20_000)
+	b := mkRandomSketch(2, 20_000)
+	direct := a.Clone().(*Sketch)
+	if err := direct.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSummary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire := a.Clone().(*Sketch)
+	if err := viaWire.MergeFrom(dec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.tuples, viaWire.tuples) || direct.total != viaWire.total {
+		t.Fatal("merge through the wire form diverged from the direct merge")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good, err := EncodeSummary(mkRandomSketch(3, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"3.14",                                  // plain float, not a summary
+		"m1:",                                   // empty body
+		"m1:exact",                              // missing fields
+		"m1:exact;c=x;t=1;",                     // non-numeric field
+		"m1:exact;c=0;t=1;5",                    // malformed sample
+		"m1:sketch;k=9;c=0;t=0;s=0;n=0;",        // wrong compression parameter
+		"m1:sketch;k=512;c=0;t=1;s=0;n=1;1:2:3", // short tuple
+		strings.Replace(good, "m1:sketch", "m1:wavelet", 1),
+	}
+	for _, v := range bad {
+		if _, err := DecodeSummary(v); err == nil {
+			t.Errorf("decode accepted corrupt value %q", v[:min(40, len(v))])
+		}
+	}
+	if IsEncodedSummary("3.14") {
+		t.Error("plain float misdetected as summary")
+	}
+}

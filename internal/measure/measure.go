@@ -95,8 +95,13 @@ type Distribution struct {
 }
 
 // Distribution computes the delay distribution of all recorded arrivals.
+// The sample slices are sized for the recorded horizon up front: at most
+// one sample exists per slot, so nothing regrows on the per-slot path.
 func (r *DelayRecorder) Distribution() Distribution {
-	var d Distribution
+	d := Distribution{
+		delays:  make([]int, 0, len(r.arr)),
+		weights: make([]float64, 0, len(r.arr)),
+	}
 	prev := 0.0
 	for t := 0; t < len(r.arr); t++ {
 		bits := r.arr[t] - prev

@@ -175,8 +175,10 @@ func meanHalfWidth(xs []float64) (mean, half float64, err error) {
 // replications: each replication's empirical quantile is one sample, and
 // the returned interval is their mean ± Student-t 95% half-width. At
 // least two replications are required; a replication with no samples
-// fails the estimate (its quantile is undefined).
-func QuantileCI(reps []Distribution, p float64) (mean, half float64, err error) {
+// fails the estimate (its quantile is undefined). On the sketch backend
+// each per-replication quantile additionally carries that summary's
+// rank-error bound — report max RankError alongside the interval.
+func QuantileCI(reps []Summary, p float64) (mean, half float64, err error) {
 	qs := make([]float64, len(reps))
 	for i, d := range reps {
 		q, err := d.Quantile(p)
@@ -192,10 +194,23 @@ func QuantileCI(reps []Distribution, p float64) (mean, half float64, err error) 
 // replication's empirical violation fraction (censored mass counting as
 // violating, as in ViolationFraction) is one sample, and the returned
 // interval is their mean ± Student-t 95% half-width.
-func ViolationFractionCI(reps []Distribution, bound float64) (mean, half float64, err error) {
+func ViolationFractionCI(reps []Summary, bound float64) (mean, half float64, err error) {
 	fs := make([]float64, len(reps))
 	for i, d := range reps {
 		fs[i] = d.ViolationFraction(bound)
 	}
 	return meanHalfWidth(fs)
+}
+
+// MaxRankError returns the largest rank-error bound across summaries —
+// the figure to report next to a pooled CI on the sketch backend. Zero
+// on the exact backend.
+func MaxRankError(ss []Summary) float64 {
+	m := 0.0
+	for _, s := range ss {
+		if e := s.RankError(); e > m {
+			m = e
+		}
+	}
+	return m
 }

@@ -178,16 +178,16 @@ func TestMergedDistributionFromRecorders(t *testing.T) {
 }
 
 func TestQuantileCI(t *testing.T) {
-	mk := func(delay int) Distribution {
-		return Distribution{delays: []int{delay}, weights: []float64{1}, totalBits: 1}
+	mk := func(delay int) Summary {
+		return &Distribution{delays: []int{delay}, weights: []float64{1}, totalBits: 1}
 	}
 	// Identical replications: zero half-width.
-	mean, half, err := QuantileCI([]Distribution{mk(4), mk(4), mk(4)}, 0.99)
+	mean, half, err := QuantileCI([]Summary{mk(4), mk(4), mk(4)}, 0.99)
 	if err != nil || mean != 4 || half != 0 {
 		t.Fatalf("identical reps: got (%g ± %g, %v), want (4 ± 0)", mean, half, err)
 	}
 	// Spread replications: mean of {2,4,6} with a positive half-width.
-	mean, half, err = QuantileCI([]Distribution{mk(2), mk(4), mk(6)}, 0.99)
+	mean, half, err = QuantileCI([]Summary{mk(2), mk(4), mk(6)}, 0.99)
 	if err != nil || mean != 4 || half <= 0 {
 		t.Fatalf("spread reps: got (%g ± %g, %v)", mean, half, err)
 	}
@@ -196,24 +196,23 @@ func TestQuantileCI(t *testing.T) {
 	if math.Abs(half-want) > 1e-9 {
 		t.Fatalf("half-width %g, want %g", half, want)
 	}
-	if _, _, err = QuantileCI([]Distribution{mk(1)}, 0.99); err == nil {
+	if _, _, err = QuantileCI([]Summary{mk(1)}, 0.99); err == nil {
 		t.Fatal("one replication must not produce a CI")
 	}
-	var empty Distribution
-	if _, _, err = QuantileCI([]Distribution{mk(1), empty}, 0.99); !errors.Is(err, ErrNoSamples) {
+	if _, _, err = QuantileCI([]Summary{mk(1), &Distribution{}}, 0.99); !errors.Is(err, ErrNoSamples) {
 		t.Fatalf("empty replication must surface ErrNoSamples, got %v", err)
 	}
 }
 
 func TestViolationFractionCI(t *testing.T) {
-	mk := func(frac float64) Distribution {
-		return Distribution{
+	mk := func(frac float64) Summary {
+		return &Distribution{
 			delays:    []int{0, 10},
 			weights:   []float64{1 - frac, frac},
 			totalBits: 1,
 		}
 	}
-	mean, half, err := ViolationFractionCI([]Distribution{mk(0.2), mk(0.4)}, 5)
+	mean, half, err := ViolationFractionCI([]Summary{mk(0.2), mk(0.4)}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package measure
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The GK invariant every guarantee rests on: after each flush, every
+// tuple's attributed prefix mass brackets the true mass at or below its
+// value, cumg(i) <= mass(<=v_i) <= cumg(i)+d_i. Checked against the
+// exact sample multiset through thousands of flush/compact/merge
+// rounds — this is the test that catches bookkeeping regressions (a
+// lost lo, a skipped inheritance) long before a quantile query drifts.
+func TestSketchInvariantAgainstExactMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	s := NewSketch()
+	type sample struct {
+		v int
+		w float64
+	}
+	var all []sample
+	check := func(step int) {
+		t.Helper()
+		sorted := append([]sample(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].v < sorted[j].v })
+		cum, cumg := 0.0, 0.0
+		idx := 0
+		for i, tp := range s.tuples {
+			cumg += tp.g
+			for idx < len(sorted) && sorted[idx].v <= tp.v {
+				cum += sorted[idx].w
+				idx++
+			}
+			slack := 1e-6 * (1 + cum)
+			if cumg > cum+slack || cum > cumg+tp.d+slack {
+				t.Fatalf("step %d tuple %d (lo=%d v=%d g=%g d=%g): cumg=%g, true mass<=v=%g, cumg+d=%g",
+					step, i, tp.lo, tp.v, tp.g, tp.d, cumg, cum, cumg+tp.d)
+			}
+		}
+	}
+	for i := 0; i < 60_000; i++ {
+		v := rng.Intn(1_000_000)
+		w := 1 + rng.Float64()
+		s.Add(v, w)
+		all = append(all, sample{v, w})
+		if len(s.buf) == 0 { // just flushed
+			check(i)
+		}
+	}
+	// The invariant must also survive a merge with an independently
+	// grown sketch.
+	o := NewSketch()
+	rng2 := rand.New(rand.NewSource(98))
+	for i := 0; i < 30_000; i++ {
+		v := rng2.Intn(1_000_000)
+		w := 1 + rng2.Float64()
+		o.Add(v, w)
+		all = append(all, sample{v, w})
+	}
+	if err := s.MergeFrom(o); err != nil {
+		t.Fatal(err)
+	}
+	check(-1)
+}

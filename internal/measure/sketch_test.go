@@ -1,0 +1,311 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sketchMemCap is the compile-time memory ceiling of one sketch: the
+// tuple cap plus a full insertion buffer plus the struct header. The
+// long-horizon test pins MemoryBytes under it regardless of input size.
+const sketchMemCap = 32*sketchMaxTuples + 16*sketchBufCap + 64
+
+// feedBoth adds the same weighted samples to an exact distribution and
+// a sketch.
+func feedBoth(samples [][2]float64) (*Distribution, *Sketch) {
+	d := &Distribution{}
+	s := NewSketch()
+	for _, sm := range samples {
+		d.Add(int(sm[0]), sm[1])
+		s.Add(int(sm[0]), sm[1])
+	}
+	return d, s
+}
+
+// assertBracket checks the advertised guarantee: the sketch quantile
+// lands between the exact p-quantile and the exact (p+RankError())-
+// quantile of the same sample set.
+func assertBracket(t *testing.T, name string, d *Distribution, s *Sketch, ps []float64) {
+	t.Helper()
+	eps := s.RankError()
+	for _, p := range ps {
+		q, err := s.Quantile(p)
+		if err != nil {
+			t.Fatalf("%s: sketch quantile(%g): %v", name, p, err)
+		}
+		lo, err := d.Quantile(p)
+		if err != nil {
+			t.Fatalf("%s: exact quantile(%g): %v", name, p, err)
+		}
+		hi, err := d.Quantile(math.Min(1, p+eps+1e-9))
+		if err != nil {
+			t.Fatalf("%s: exact quantile(%g+eps): %v", name, p, err)
+		}
+		if q < lo || q > hi {
+			t.Fatalf("%s: p=%g: sketch quantile %d outside exact bracket [%d,%d] (rank error %g)",
+				name, p, q, lo, hi, eps)
+		}
+	}
+}
+
+var quantileProbes = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+
+// Small-support inputs must reproduce the exact backend bit for bit:
+// every tuple still covers one original delay, so RankError is 0.
+func TestSketchExactOnSmallSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := map[string]func(i int) [2]float64{
+		"constant":  func(i int) [2]float64 { return [2]float64{7, 1 + rng.Float64()} },
+		"two-point": func(i int) [2]float64 { return [2]float64{float64(1 + 999*(i%2)), rng.Float64() * 5} },
+		"ten-point": func(i int) [2]float64 { return [2]float64{float64(rng.Intn(10)), 1} },
+	}
+	for name, gen := range cases {
+		samples := make([][2]float64, 50_000)
+		for i := range samples {
+			samples[i] = gen(i)
+		}
+		d, s := feedBoth(samples)
+		if eps := s.RankError(); eps != 0 {
+			t.Fatalf("%s: rank error %g, want 0 (all tuples atomic)", name, eps)
+		}
+		for _, p := range quantileProbes {
+			qd, _ := d.Quantile(p)
+			qs, err := s.Quantile(p)
+			if err != nil || qs != qd {
+				t.Fatalf("%s: quantile(%g): sketch %d (%v), exact %d", name, p, qs, err, qd)
+			}
+		}
+		if me, _ := d.Mean(); func() float64 { m, _ := s.Mean(); return m }() != me {
+			t.Fatalf("%s: sketch mean differs from exact", name)
+		}
+	}
+}
+
+// Adversarial wide-support inputs force compaction; the bracket
+// guarantee and the O(1/SketchK) error scale must hold.
+func TestSketchRankErrorAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	cases := map[string]func() [2]float64{
+		// Pareto-ish delays with heavy weights on the tail.
+		"heavy-tailed": func() [2]float64 {
+			u := rng.Float64()
+			delay := math.Min(1e6, math.Pow(1/(1-u), 1.5))
+			return [2]float64{delay, 0.1 + 10*rng.Float64()*rng.Float64()}
+		},
+		// Every delay distinct and uniform: maximal distinct support.
+		"all-distinct": func() [2]float64 {
+			return [2]float64{float64(rng.Intn(1_000_000)), 1 + rng.Float64()}
+		},
+		// A huge atom at 0 plus a sparse far tail.
+		"atom-plus-tail": func() [2]float64 {
+			if rng.Float64() < 0.9 {
+				return [2]float64{0, 5}
+			}
+			return [2]float64{float64(10_000 + rng.Intn(100_000)), rng.Float64()}
+		},
+	}
+	for name, gen := range cases {
+		samples := make([][2]float64, 120_000)
+		for i := range samples {
+			samples[i] = gen()
+		}
+		d, s := feedBoth(samples)
+		eps := s.RankError()
+		if eps > 0.05 {
+			t.Fatalf("%s: rank error %g too large for K=%d", name, eps, SketchK)
+		}
+		if s.MemoryBytes() > sketchMemCap {
+			t.Fatalf("%s: sketch memory %dB exceeds cap %dB", name, s.MemoryBytes(), sketchMemCap)
+		}
+		assertBracket(t, name, d, s, quantileProbes)
+		// Exact side statistics survive compaction exactly.
+		if md, _ := d.Max(); func() int { m, _ := s.Max(); return m }() != md {
+			t.Fatalf("%s: sketch max differs from exact", name)
+		}
+		if _, bits := d.Samples(); math.Abs(s.TotalBits()-bits) > 1e-9*(1+bits) {
+			t.Fatalf("%s: volume drifted: sketch %g, exact %g", name, s.TotalBits(), bits)
+		}
+	}
+}
+
+// Memory stays at the compile-time ceiling no matter how long the
+// stream runs — the property the backend exists for (10× horizons and
+// beyond).
+func TestSketchMemoryBoundedLongStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSketch()
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(rng.Intn(1_000_000), 1+rng.Float64())
+		if i%100_000 == 0 && s.MemoryBytes() > sketchMemCap {
+			t.Fatalf("after %d adds: %dB exceeds cap %dB", i+1, s.MemoryBytes(), sketchMemCap)
+		}
+	}
+	if s.MemoryBytes() > sketchMemCap {
+		t.Fatalf("final memory %dB exceeds cap %dB", s.MemoryBytes(), sketchMemCap)
+	}
+	if eps := s.RankError(); eps <= 0 || eps > 0.05 {
+		t.Fatalf("rank error %g out of expected range for a compacted sketch", eps)
+	}
+	// The exact backend would hold 16B per sample here; the sketch must
+	// be orders of magnitude smaller.
+	if exact := 16 * 1_000_000; s.MemoryBytes()*10 > exact {
+		t.Fatalf("sketch memory %dB is not a material win over exact %dB", s.MemoryBytes(), exact)
+	}
+}
+
+func mkRandomSketch(seed int64, n int) *Sketch {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSketch()
+	for i := 0; i < n; i++ {
+		s.Add(rng.Intn(50_000), rng.Float64()*3)
+	}
+	s.AddCensored(rng.Float64())
+	return s
+}
+
+// Merge must be commutative to the bit, like the exact backend's.
+func TestSketchMergeCommutativeBitIdentical(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		a := mkRandomSketch(100+trial, 30_000)
+		b := mkRandomSketch(200+trial, 45_000)
+		ab := a.Clone().(*Sketch)
+		if err := ab.MergeFrom(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := b.Clone().(*Sketch)
+		if err := ba.MergeFrom(a); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ab.tuples, ba.tuples) || ab.total != ba.total ||
+			ab.censored != ba.censored || ab.sumDB != ba.sumDB || ab.adds != ba.adds {
+			t.Fatalf("trial %d: MergeFrom not commutative bit-for-bit", trial)
+		}
+	}
+}
+
+// Pooling replications through MergeSummaries keeps the bracket
+// guarantee against the concatenated exact sample set, with the rank
+// error still O(1/SketchK) after the fold.
+func TestSketchMergedBracketAgainstConcatenated(t *testing.T) {
+	const reps = 8
+	pool := &Distribution{}
+	parts := make([]Summary, reps)
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(int64(1000 + r)))
+		s := NewSketch()
+		for i := 0; i < 40_000; i++ {
+			u := rng.Float64()
+			delay := int(math.Min(5e5, math.Pow(1/(1-u), 1.4)))
+			bits := 0.5 + rng.Float64()
+			s.Add(delay, bits)
+			pool.Add(delay, bits)
+		}
+		parts[r] = s
+	}
+	merged, err := MergeSummaries(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := merged.(*Sketch)
+	if eps := ms.RankError(); eps > 0.08 {
+		t.Fatalf("pooled rank error %g degraded past O(1/K) after %d merges", eps, reps)
+	}
+	assertBracket(t, "pooled", pool, ms, quantileProbes)
+	if got, want := MaxRankError(parts), parts[0].RankError(); got < want {
+		t.Fatalf("MaxRankError %g below a member's %g", got, want)
+	}
+}
+
+// MergeSummaries must refuse to pool across backends, and never modify
+// its inputs beyond buffer flushes.
+func TestMergeSummariesBackendMismatch(t *testing.T) {
+	d := &Distribution{}
+	d.Add(1, 1)
+	s := NewSketch()
+	s.Add(1, 1)
+	if _, err := MergeSummaries([]Summary{d, s}); err == nil {
+		t.Fatal("exact⊕sketch must fail")
+	}
+	if _, err := MergeSummaries([]Summary{s, d}); err == nil {
+		t.Fatal("sketch⊕exact must fail")
+	}
+	if _, err := MergeSummaries(nil); err == nil {
+		t.Fatal("empty pool must fail")
+	}
+	one, err := MergeSummaries([]Summary{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Add(9, 9) // the pooled result is a clone...
+	if n, _ := s.Samples(); n != 1 {
+		t.Fatal("...so mutating it must not touch the input")
+	}
+}
+
+// Backend plumbing: parse/print round-trip and constructor dispatch.
+func TestBackendParseNew(t *testing.T) {
+	for _, name := range []string{"exact", "sketch"} {
+		b, err := ParseBackend(name)
+		if err != nil || b.String() != name || b.New().BackendName() != name {
+			t.Fatalf("backend %q round-trip failed: %v", name, err)
+		}
+	}
+	if _, err := ParseBackend("tdigest"); err == nil {
+		t.Fatal("unknown backend must fail to parse")
+	}
+}
+
+// Conservative queries shared with the exact backend: censored mass
+// violates every bound and inflates CCDF tails.
+func TestSketchCensoredConventions(t *testing.T) {
+	s := NewSketch()
+	s.Add(2, 3)
+	s.AddCensored(1)
+	if got := s.ViolationFraction(10); got != 0.25 {
+		t.Fatalf("violation fraction %g, want 0.25 (censored mass violates)", got)
+	}
+	if got := s.CensoredFraction(); got != 0.25 {
+		t.Fatalf("censored fraction %g, want 0.25", got)
+	}
+	delays, probs := s.CCDF()
+	if len(delays) != 1 || delays[0] != 2 || probs[0] != 0.25 {
+		t.Fatalf("CCDF (%v, %v), want ([2], [0.25])", delays, probs)
+	}
+	var empty Sketch
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch quantile must fail")
+	}
+	if _, err := empty.Max(); err == nil {
+		t.Fatal("empty sketch max must fail")
+	}
+	if _, err := empty.Mean(); err == nil {
+		t.Fatal("empty sketch mean must fail")
+	}
+}
+
+// BenchmarkSketchAddMerge measures the streaming hot path: one Add per
+// iteration into a rotating pair of sketches plus a periodic merge, the
+// access pattern of a replicated sketch-backed run.
+func BenchmarkSketchAddMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]int, 4096)
+	bits := make([]float64, 4096)
+	for i := range delays {
+		delays[i] = rng.Intn(100_000)
+		bits[i] = 1 + rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	a, s := NewSketch(), NewSketch()
+	for i := 0; i < b.N; i++ {
+		s.Add(delays[i%len(delays)], bits[i%len(bits)])
+		if i%65536 == 65535 {
+			if err := a.MergeFrom(s); err != nil {
+				b.Fatal(err)
+			}
+			s = NewSketch()
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package measure
+
+// This file holds the streaming half of the measurement seam: a
+// SlotSink abstracts "something that absorbs one (A(t), D(t)) sample
+// per slot", and StreamRecorder is the fixed-memory implementation —
+// it computes virtual delays online, feeding a Summary as departures
+// catch up with arrivals, and retains only the window of slots whose
+// arrivals have not yet departed (O(backlog delay) instead of
+// O(horizon)). The retained-curve DelayRecorder implements SlotSink
+// too, so the simulator records through one seam regardless of
+// backend.
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotSink consumes one cumulative (arrivals, departures) sample per
+// slot. Totals must be non-decreasing with departures <= arrivals up to
+// the fluid simulation's floating-point tolerance.
+type SlotSink interface {
+	Record(cumArrivals, cumDepartures float64) error
+}
+
+// Both recorders satisfy the seam.
+var (
+	_ SlotSink = (*DelayRecorder)(nil)
+	_ SlotSink = (*StreamRecorder)(nil)
+)
+
+// pendingSlot is one slot whose fresh arrivals have not fully departed:
+// the slot index, the cumulative-arrival level its bits must reach
+// (the paper's Eq. 6 target), and the fresh volume.
+type pendingSlot struct {
+	slot   int
+	target float64
+	bits   float64
+}
+
+// StreamRecorder computes the bit-weighted virtual-delay summary of a
+// run online: each recorded slot appends its fresh arrivals to a FIFO
+// of outstanding slots and drains every outstanding slot whose target
+// the departure curve has reached, adding (delay, bits) to the
+// Summary. The validation, tolerances and drain rule mirror
+// DelayRecorder.Record and VirtualDelay exactly, so feeding an exact
+// Distribution through a StreamRecorder reproduces
+// DelayRecorder.Distribution() bit for bit — while a Sketch summary
+// keeps the whole pipeline O(1) in the horizon.
+type StreamRecorder struct {
+	sum      Summary
+	pending  []pendingSlot
+	head     int
+	slot     int
+	lastA    float64
+	lastD    float64
+	finished bool
+}
+
+// NewStreamRecorder returns a streaming recorder feeding the summary.
+func NewStreamRecorder(sum Summary) *StreamRecorder {
+	return &StreamRecorder{sum: sum}
+}
+
+// Record absorbs one slot's cumulative totals; same contract as
+// DelayRecorder.Record.
+func (r *StreamRecorder) Record(cumArrivals, cumDepartures float64) error {
+	if r.finished {
+		return fmt.Errorf("measure: stream recorder already finished")
+	}
+	tol := 1e-9 * (1 + math.Abs(cumArrivals))
+	if r.slot > 0 {
+		if cumArrivals < r.lastA-tol || cumDepartures < r.lastD-tol {
+			return fmt.Errorf("measure: cumulative curves must be non-decreasing (A %g→%g, D %g→%g)",
+				r.lastA, cumArrivals, r.lastD, cumDepartures)
+		}
+	}
+	if cumDepartures > cumArrivals+tol {
+		return fmt.Errorf("measure: departures %g exceed arrivals %g", cumDepartures, cumArrivals)
+	}
+	if cumDepartures > cumArrivals {
+		cumDepartures = cumArrivals // clamp fp drift so delays stay causal
+	}
+	if bits := cumArrivals - r.lastA; bits > 0 {
+		r.pending = append(r.pending, pendingSlot{slot: r.slot, target: cumArrivals, bits: bits})
+	}
+	// Drain in slot order: targets are non-decreasing, so the FIFO head
+	// is always the next slot to complete (the streaming equivalent of
+	// VirtualDelay's per-slot binary search, including its tolerance).
+	for r.head < len(r.pending) && cumDepartures >= r.pending[r.head].target-1e-9 {
+		p := r.pending[r.head]
+		r.sum.Add(r.slot-p.slot, p.bits)
+		r.head++
+	}
+	// Reclaim the drained prefix once it dominates the queue, keeping
+	// the retained window proportional to the outstanding backlog.
+	if r.head > 64 && r.head*2 > len(r.pending) {
+		n := copy(r.pending, r.pending[r.head:])
+		r.pending = r.pending[:n]
+		r.head = 0
+	}
+	r.lastA, r.lastD = cumArrivals, cumDepartures
+	r.slot++
+	return nil
+}
+
+// Outstanding returns the number of retained slots whose arrivals have
+// not yet departed — the recorder's only horizon-dependent state.
+func (r *StreamRecorder) Outstanding() int { return len(r.pending) - r.head }
+
+// Slots returns the number of recorded slots.
+func (r *StreamRecorder) Slots() int { return r.slot }
+
+// Finish marks the end of the horizon: every still-outstanding slot's
+// volume is right-censored (in slot order, matching the exact
+// builder), and the fed summary is returned. Finish is idempotent;
+// recording after Finish fails.
+func (r *StreamRecorder) Finish() Summary {
+	if !r.finished {
+		for r.head < len(r.pending) {
+			r.sum.AddCensored(r.pending[r.head].bits)
+			r.head++
+		}
+		r.pending = nil
+		r.head = 0
+		r.finished = true
+	}
+	return r.sum
+}

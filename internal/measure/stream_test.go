@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamRun drives a StreamRecorder with the same per-slot increments
+// recordRun feeds a DelayRecorder.
+func streamRun(t *testing.T, sum Summary, incrA, incrD []float64) *StreamRecorder {
+	t.Helper()
+	r := NewStreamRecorder(sum)
+	cumA, cumD := 0.0, 0.0
+	for i := range incrA {
+		cumA += incrA[i]
+		cumD += incrD[i]
+		if err := r.Record(cumA, cumD); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	return r
+}
+
+// randomIncrements builds a run with bursty arrivals, capacity-limited
+// departures and a non-empty final backlog, so some volume is censored.
+func randomIncrements(seed int64, slots int) (incrA, incrD []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	incrA = make([]float64, slots)
+	incrD = make([]float64, slots)
+	pending := 0.0
+	for i := range incrA {
+		if rng.Float64() < 0.7 {
+			incrA[i] = rng.Float64() * 4
+		}
+		pending += incrA[i]
+		d := math.Min(pending, rng.Float64()*3)
+		if i > slots-10 {
+			d = 0 // freeze departures near the end to force censoring
+		}
+		incrD[i] = d
+		pending -= d
+	}
+	return incrA, incrD
+}
+
+// The streaming recorder feeding an exact Distribution must reproduce
+// the retained-curve pipeline bit for bit, censored mass included.
+func TestStreamRecorderMatchesDelayRecorder(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		incrA, incrD := randomIncrements(seed, 400+int(seed)*37)
+		want := recordRun(t, incrA, incrD).Distribution()
+		got := streamRun(t, &Distribution{}, incrA, incrD).Finish().(*Distribution)
+		if !distEqual(*got, want) {
+			t.Fatalf("seed %d: streaming distribution differs from batch distribution", seed)
+		}
+		if want.CensoredBits() == 0 {
+			t.Fatalf("seed %d: test input produced no censored mass — not exercising Finish", seed)
+		}
+	}
+}
+
+// Feeding a sketch through the same stream yields the same totals and
+// bracket-consistent quantiles.
+func TestStreamRecorderSketchAgreesWithExact(t *testing.T) {
+	incrA, incrD := randomIncrements(99, 5000)
+	exact := streamRun(t, &Distribution{}, incrA, incrD).Finish().(*Distribution)
+	sk := streamRun(t, NewSketch(), incrA, incrD).Finish().(*Sketch)
+	if _, bits := exact.Samples(); math.Abs(sk.TotalBits()-bits) > 1e-9*(1+bits) {
+		t.Fatalf("volume differs: sketch %g, exact %g", sk.TotalBits(), bits)
+	}
+	if sk.CensoredBits() != exact.CensoredBits() {
+		t.Fatalf("censored differs: sketch %g, exact %g", sk.CensoredBits(), exact.CensoredBits())
+	}
+	assertBracket(t, "stream", exact, sk, quantileProbes)
+}
+
+// The recorder's retained window is the outstanding backlog, not the
+// horizon: with prompt departures the pending queue keeps being
+// reclaimed.
+func TestStreamRecorderWindowStaysSmall(t *testing.T) {
+	r := NewStreamRecorder(NewSketch())
+	cum := 0.0
+	for i := 0; i < 100_000; i++ {
+		cum += 1
+		if err := r.Record(cum, cum); err != nil { // same-slot departures
+			t.Fatal(err)
+		}
+		if len(r.pending) > 200 {
+			t.Fatalf("slot %d: pending queue grew to %d despite zero backlog", i, len(r.pending))
+		}
+	}
+	if r.Outstanding() != 0 {
+		t.Fatalf("outstanding %d, want 0", r.Outstanding())
+	}
+	if r.Slots() != 100_000 {
+		t.Fatalf("slots %d, want 100000", r.Slots())
+	}
+}
+
+func TestStreamRecorderValidation(t *testing.T) {
+	r := NewStreamRecorder(&Distribution{})
+	if err := r.Record(5, 6); err == nil {
+		t.Fatal("departures beyond arrivals must fail")
+	}
+	if err := r.Record(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(4, 3); err == nil {
+		t.Fatal("decreasing arrivals must fail")
+	}
+	r.Finish()
+	r.Finish() // idempotent
+	if err := r.Record(6, 6); err == nil {
+		t.Fatal("recording after Finish must fail")
+	}
+}

@@ -58,6 +58,7 @@ type App struct {
 	backendStr *string
 	reps       *int
 	simWorkers *int
+	measure    *string
 
 	// Sharded-sweep flag group and point resilience knobs (shard.go).
 	shardStr     *string
@@ -87,6 +88,7 @@ func New(name string, def scenario.Backend) *App {
 	a.backendStr = a.FS.String("backend", def.String(), "evaluation backend: analytic, sim or both")
 	a.reps = a.FS.Int("reps", 1, "sim backend: independent replications per point (splits the slot budget across disjoint seed streams; reps>1 adds Student-t CI metrics)")
 	a.simWorkers = a.FS.Int("simworkers", 0, "sim backend: max concurrent replications per point (0 = all cores)")
+	a.measure = a.FS.String("measure", "exact", "sim backend: measurement backend — exact (full per-slot samples, byte-identical goldens) or sketch (fixed-memory mergeable quantile sketch; reports a rank-error bound)")
 	a.registerShardFlags()
 	a.obsFlags.Register(a.FS)
 	return a
@@ -99,6 +101,10 @@ func (a *App) Reps() int { return *a.reps }
 // SimWorkers returns the -simworkers flag value: the replication worker
 // pool bound (0 = GOMAXPROCS).
 func (a *App) SimWorkers() int { return *a.simWorkers }
+
+// Measure returns the -measure flag value: the delay measurement
+// backend name ("exact" or "sketch"), validated by the scenario.
+func (a *App) Measure() string { return *a.measure }
 
 // ReportEnabled reports whether -report was set: commands use it to
 // enable expensive instrumentation (per-node probes) only when a report
@@ -209,12 +215,12 @@ func (a *App) Run(sc scenario.Scenario, cfg scenario.Config, opt RunOpt) ([]scen
 			core.ErrBadConfig, info.Name, info.Backends, be)
 	}
 
-	// The replication flags are run-engine knobs, not scenario parameters:
-	// inject them for every sim-capable run (before Points, so replicated
-	// point IDs carry their reps=R tag). Scenarios without a sim path
-	// ignore the keys.
+	// The replication and measurement flags are run-engine knobs, not
+	// scenario parameters: inject them for every sim-capable run (before
+	// Points, so replicated point IDs carry their reps=R / measure=sketch
+	// tags). Scenarios without a sim path ignore the keys.
 	if be.Has(scenario.Sim) {
-		cfg = cfg.With("reps", a.Reps()).With("simworkers", a.SimWorkers())
+		cfg = cfg.With("reps", a.Reps()).With("simworkers", a.SimWorkers()).With("measure", a.Measure())
 	}
 
 	pts, err := sc.Points(cfg)

@@ -7,6 +7,7 @@ import (
 
 	"deltasched/internal/core"
 	"deltasched/internal/experiments"
+	"deltasched/internal/measure"
 	"deltasched/internal/sim"
 )
 
@@ -91,6 +92,7 @@ func (f figScenario) Info() Info {
 			{Name: "simworkers", Kind: "int", Default: "0", Help: "sim backend: max concurrent replications per point (0 = all cores)"},
 			{Name: "seed", Kind: "int", Default: "1", Help: "sim backend: RNG seed (root of the replication seed stream)"},
 			{Name: "simeps", Kind: "float", Default: "0.01", Help: "sim backend: tail mass of the reported empirical quantile"},
+			{Name: "measure", Kind: "string", Default: "exact", Help: "sim backend: measurement backend, exact or sketch (fixed memory, reported rank-error bound)"},
 		},
 	}
 }
@@ -135,6 +137,10 @@ func (f figScenario) Evaluate(ctx context.Context, cfg Config, pt Point, be Back
 		if err != nil {
 			return Result{}, err
 		}
+		backend, err := measure.ParseBackend(cfg.Str("measure", "exact"))
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: %v", core.ErrBadConfig, err)
+		}
 		rep, err := runReplicated(ctx, simSpec{
 			Src:        s.Source,
 			H:          sp.H,
@@ -146,6 +152,7 @@ func (f figScenario) Evaluate(ctx context.Context, cfg Config, pt Point, be Back
 			Seed:       cfg.Int64("seed", 1),
 			Reps:       cfg.Int("reps", 1),
 			SimWorkers: cfg.Int("simworkers", 0),
+			Measure:    backend,
 		})
 		if err != nil {
 			return Result{}, err

@@ -41,13 +41,22 @@ type simSpec struct {
 	// cores).
 	Reps       int
 	SimWorkers int
+
+	// Measure selects the measurement backend: BackendExact (default)
+	// retains the full per-slot sample set, byte-identical to the
+	// pre-seam pipeline; BackendSketch streams slots through a
+	// fixed-memory quantile sketch, so summary memory is O(1) in Slots.
+	Measure measure.Backend
 }
 
 // runTandem executes the simulation and returns the through-flow delay
-// recorder, the run counters, and the per-node probe (nil when Every is
-// 0). The RNG is seeded deterministically so a (spec, seed) pair is
-// reproducible.
-func runTandem(ctx context.Context, spec simSpec) (*measure.DelayRecorder, sim.Stats, *obs.SimProbe, error) {
+// summary on the spec's measurement backend, the run counters, and the
+// per-node probe (nil when Every is 0). The RNG is seeded
+// deterministically so a (spec, seed, backend) triple is reproducible.
+// The exact backend records through the retained-curve DelayRecorder
+// (byte-identical to the pre-seam pipeline); the sketch backend streams
+// each slot straight into a fixed-memory summary via Tandem.Sink.
+func runTandem(ctx context.Context, spec simSpec) (measure.Summary, sim.Stats, *obs.SimProbe, error) {
 	if spec.Slots <= 0 {
 		return nil, sim.Stats{}, nil, fmt.Errorf("%w: slots must be positive, got %d", core.ErrBadConfig, spec.Slots)
 	}
@@ -86,20 +95,33 @@ func runTandem(ctx context.Context, spec simSpec) (*measure.DelayRecorder, sim.S
 		probe = &obs.SimProbe{Every: spec.Every}
 		tan.Probe = probe
 	}
+	var stream *measure.StreamRecorder
+	if spec.Measure != measure.BackendExact {
+		stream = measure.NewStreamRecorder(spec.Measure.New())
+		tan.Sink = stream
+	}
 	_, sp := obs.StartSpan(ctx, "simulate")
 	if sp != nil {
 		sp.SetAttr("slots", spec.Slots)
 		sp.SetAttr("seed", spec.Seed)
+		sp.SetAttr("measure", spec.Measure.String())
 	}
 	rec, stats, err := tan.Run(spec.Slots)
 	sp.End()
 	if err != nil {
 		return nil, sim.Stats{}, nil, err
 	}
+	var sum measure.Summary
+	if stream != nil {
+		sum = stream.Finish()
+	} else {
+		d := rec.Distribution()
+		sum = &d
+	}
 	si := simIntrospect()
 	si.Slots.Add(int64(spec.Slots))
 	si.Replications.Inc()
-	return rec, stats, probe, nil
+	return sum, stats, probe, nil
 }
 
 // SchedulerFor maps a scheduler name to a simulator scheduler factory and
@@ -150,13 +172,15 @@ func validateWeights(w0, wc float64) error {
 }
 
 // repOutcome is the result of a (possibly replicated) tandem simulation:
-// the pooled delay distribution for point estimates, the per-replication
-// distributions for confidence intervals, the aggregate counters, and
-// the probe of replication 0 (probes observe a single sample path).
+// the pooled delay summary for point estimates, the per-replication
+// summaries for confidence intervals, the aggregate counters, and the
+// probe of replication 0 (probes observe a single sample path). The
+// summaries share one backend: exact Distributions or fixed-memory
+// Sketches, per simSpec.Measure.
 type repOutcome struct {
-	Dist        measure.Distribution   // pooled over all replications
-	PerRep      []measure.Distribution // one per replication, in index order
-	Stats       sim.Stats              // volumes summed; MaxBacklog is the max over replications
+	Dist        measure.Summary   // pooled over all replications
+	PerRep      []measure.Summary // one per replication, in index order
+	Stats       sim.Stats         // volumes summed; MaxBacklog is the max over replications
 	Probe       *obs.SimProbe
 	Reps        int
 	SlotsPerRep int
@@ -173,15 +197,14 @@ type repOutcome struct {
 func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 	reps := spec.Reps
 	if reps <= 1 {
-		rec, stats, probe, err := runTandem(ctx, spec)
+		sum, stats, probe, err := runTandem(ctx, spec)
 		if err != nil {
 			return repOutcome{}, err
 		}
-		dist := rec.Distribution()
-		simIntrospect().CensoredKbit.Add(int64(dist.CensoredBits()))
+		simIntrospect().CensoredKbit.Add(int64(sum.CensoredBits()))
 		return repOutcome{
-			Dist:        dist,
-			PerRep:      []measure.Distribution{dist},
+			Dist:        sum,
+			PerRep:      []measure.Summary{sum},
 			Stats:       stats,
 			Probe:       probe,
 			Reps:        1,
@@ -220,7 +243,7 @@ func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 		idx[i] = i
 	}
 	type repResult struct {
-		rec   *measure.DelayRecorder
+		sum   measure.Summary
 		stats sim.Stats
 		probe *obs.SimProbe
 	}
@@ -237,26 +260,24 @@ func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 			if rep != 0 {
 				rspec.Every = 0 // the probe follows one sample path: replication 0
 			}
-			rec, stats, probe, err := runTandem(rctx, rspec)
+			sum, stats, probe, err := runTandem(rctx, rspec)
 			if err != nil {
 				return repResult{}, fmt.Errorf("replication %d: %w", rep, err)
 			}
-			return repResult{rec: rec, stats: stats, probe: probe}, nil
+			return repResult{sum: sum, stats: stats, probe: probe}, nil
 		}, experiments.RunOptions{Policy: experiments.FailFast})
 	if err != nil {
 		return repOutcome{}, err
 	}
 
 	out := repOutcome{
-		PerRep:      make([]measure.Distribution, reps),
+		PerRep:      make([]measure.Summary, reps),
 		Probe:       results[0].probe,
 		Reps:        reps,
 		SlotsPerRep: perRepSlots,
 	}
-	recs := make([]*measure.DelayRecorder, reps)
 	for i, r := range results {
-		recs[i] = r.rec
-		out.PerRep[i] = r.rec.Distribution()
+		out.PerRep[i] = r.sum
 		out.Stats.ThroughArrived += r.stats.ThroughArrived
 		out.Stats.ThroughLeft += r.stats.ThroughLeft
 		out.Stats.CrossArrived += r.stats.CrossArrived
@@ -264,27 +285,46 @@ func runReplicated(ctx context.Context, spec simSpec) (repOutcome, error) {
 			out.Stats.MaxBacklog = r.stats.MaxBacklog
 		}
 	}
+	// MergeSummaries folds in replication index order over a clone —
+	// on the exact backend this is bit-identical to the former
+	// MergedDistribution fold, so pooled results stay worker-count
+	// invariant and byte-identical to the pre-seam pipeline.
 	_, msp := obs.StartSpan(ctx, "merge")
-	out.Dist = measure.MergedDistribution(recs)
+	pooled, err := measure.MergeSummaries(out.PerRep)
 	msp.End()
+	if err != nil {
+		return repOutcome{}, err
+	}
+	out.Dist = pooled
 	si := simIntrospect()
 	si.MergeOps.Add(int64(reps))
 	si.CensoredKbit.Add(int64(out.Dist.CensoredBits()))
 	return out, nil
 }
 
-// simMetrics condenses a simulated delay distribution into the named
+// simMetrics condenses a simulated delay summary into the named
 // empirical metrics of a Result: the delay quantile at 1−simeps, the
 // observed maximum, the censored (horizon-truncated) mass, and — when a
 // finite analytic bound is available — the empirical violation fraction
 // of that bound. With two or more replications the per-replication
 // estimates additionally yield Student-t 95% confidence half-widths.
+// On the sketch backend the summary's guaranteed quantile rank-error
+// bound is reported alongside, and the pooled summary's resident size
+// lands in both the metrics and the sim_summary_bytes gauge so the
+// exact-vs-sketch memory gap is observable in /metrics and RunReports.
 func simMetrics(out repOutcome, simeps, bound float64) map[string]float64 {
 	dist := out.Dist
 	m := map[string]float64{
 		"sim_max_backlog_kbit":     out.Stats.MaxBacklog,
 		"sim_through_arrived_kbit": out.Stats.ThroughArrived,
 		"sim_censored_fraction":    dist.CensoredFraction(),
+		"sim_summary_bytes":        float64(dist.MemoryBytes()),
+	}
+	obs.Default.Gauge("sim_summary_bytes",
+		"resident size of the pooled delay summary (exact grows with the horizon, sketch is O(1))",
+		obs.Labels{"backend": dist.BackendName()}).Set(float64(dist.MemoryBytes()))
+	if re := dist.RankError(); re > 0 {
+		m["sim_quantile_rank_error"] = re
 	}
 	if cf := m["sim_censored_fraction"]; cf > simeps {
 		fmt.Fprintf(os.Stderr,
@@ -306,6 +346,12 @@ func simMetrics(out repOutcome, simeps, bound float64) map[string]float64 {
 		if mean, half, err := measure.QuantileCI(out.PerRep, 1-simeps); err == nil {
 			m["sim_delay_quantile_mean_slots"] = mean
 			m["sim_delay_quantile_ci_slots"] = half
+			// The CI half-width captures replication noise only; on the
+			// sketch backend each per-replication quantile additionally
+			// carries this deterministic rank-error bound.
+			if re := measure.MaxRankError(out.PerRep); re > 0 {
+				m["sim_quantile_ci_rank_error"] = re
+			}
 		}
 		if finiteBound {
 			if mean, half, err := measure.ViolationFractionCI(out.PerRep, bound); err == nil {

@@ -22,11 +22,12 @@ type TandemDetail struct {
 	BoundLabel string
 	Delta      float64
 	Stats      sim.Stats
-	Dist       measure.Distribution // pooled over replications (reps=1: the single run)
+	Dist       measure.Summary // pooled over replications (reps=1: the single run)
 	Probe      *obs.SimProbe
-	// Replication artifacts: per-replication distributions for CI
-	// printing, the replication count, and the per-replication horizon.
-	PerRep      []measure.Distribution
+	// Replication artifacts: per-replication summaries for CI printing,
+	// the replication count, and the per-replication horizon. All
+	// summaries share the backend selected by -measure.
+	PerRep      []measure.Summary
 	Reps        int
 	SlotsPerRep int
 }
@@ -55,6 +56,7 @@ func (tandemScenario) Info() Info {
 			{Name: "slots", Kind: "int", Default: "200000", Help: "total simulation budget in slots (split across replications)"},
 			{Name: "reps", Kind: "int", Default: "1", Help: "independent replications with SplitMix64-derived seeds; reps>1 merges distributions and adds Student-t CI metrics"},
 			{Name: "simworkers", Kind: "int", Default: "0", Help: "max concurrent replications (0 = all cores)"},
+			{Name: "measure", Kind: "string", Default: "exact", Help: "measurement backend: exact (full per-slot samples) or sketch (fixed-memory mergeable quantile sketch with a reported rank-error bound)"},
 			{Name: "seed", Kind: "int", Default: "1", Help: "RNG seed (root of the replication seed stream)"},
 			{Name: "eps", Kind: "float", Default: "1e-2", Help: "violation probability for the analytical bound"},
 			{Name: "probe-every", Kind: "int", Default: "0", Help: "probe sampling stride in slots (0 disables the probe)"},
@@ -81,6 +83,12 @@ func (tandemScenario) Points(cfg Config) ([]Point, error) {
 	// keeps the historical ID.
 	if reps := cfg.Int("reps", 1); reps > 1 {
 		id += "/reps=" + strconv.Itoa(reps)
+	}
+	// The sketch backend reports approximate quantiles, so its results
+	// must not satisfy an exact-backend checkpoint; the exact default
+	// keeps the historical ID.
+	if ms := cfg.Str("measure", "exact"); ms != "exact" {
+		id += "/measure=" + ms
 	}
 	return []Point{{ID: id}}, nil
 }
@@ -112,6 +120,10 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 	}
 	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
 		return Result{}, fmt.Errorf("%w: -eps must be in (0,1), got %g", core.ErrBadConfig, eps)
+	}
+	backend, err := measure.ParseBackend(cfg.Str("measure", "exact"))
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", core.ErrBadConfig, err)
 	}
 
 	src := envelope.PaperSource()
@@ -194,6 +206,7 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 			Progress:   cfg.Progress(),
 			Reps:       reps,
 			SimWorkers: cfg.Int("simworkers", 0),
+			Measure:    backend,
 		})
 		if err != nil {
 			return Result{}, err

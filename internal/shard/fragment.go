@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"deltasched/internal/faults"
+	"deltasched/internal/measure"
 	"deltasched/internal/obs"
 )
 
@@ -22,8 +23,10 @@ var ErrFragmentIntegrity = errors.New("shard: fragment integrity")
 
 // Fragment is one shard's checkpoint fragment: the sweep it belongs to,
 // the shard assignment, a hash of the full point-ID universe it was
-// partitioned from, and the completed records (point ID -> exact decimal
-// float string, the same value encoding the resume checkpoint uses).
+// partitioned from, and the completed records. A record value is either
+// an exact decimal float string (the encoding the resume checkpoint
+// uses) or an `m1:`-prefixed measure.EncodeSummary string, so sketch
+// sweeps can checkpoint whole mergeable delay summaries per point.
 type Fragment struct {
 	Sweep        string
 	Shard        Spec
@@ -195,7 +198,14 @@ func ReadFragment(path string) (*Fragment, error) {
 			return bad("bad record id in %q", firstN(line, 40))
 		}
 		val := line[sep+1:]
-		if _, err := strconv.ParseFloat(val, 64); err != nil {
+		if measure.IsEncodedSummary(val) {
+			// Sketch-backend sweeps checkpoint whole delay summaries, not
+			// scalar bounds; the encoding is space-free so the last-space
+			// record split above still isolates it.
+			if _, err := measure.DecodeSummary(val); err != nil {
+				return bad("record %q has bad summary: %v", id, err)
+			}
+		} else if _, err := strconv.ParseFloat(val, 64); err != nil {
 			return bad("record %q has bad value %q", id, val)
 		}
 		if _, dup := f.Records[id]; dup {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"deltasched/internal/faults"
+	"deltasched/internal/measure"
 )
 
 func testUniverse(n int) []string {
@@ -57,6 +58,66 @@ func TestFragmentRoundTrip(t *testing.T) {
 		if got.Records[id] != v {
 			t.Fatalf("record %q = %q, want %q", id, got.Records[id], v)
 		}
+	}
+}
+
+// Fragment records may carry encoded delay summaries instead of scalar
+// bounds: both backends must round-trip byte-identically, and a damaged
+// summary must fail integrity like any other bad value.
+func TestFragmentSummaryRecords(t *testing.T) {
+	dir := t.TempDir()
+	exact := measure.BackendExact.New()
+	sketch := measure.BackendSketch.New()
+	for i := 0; i < 5000; i++ {
+		exact.Add(i%37, float64(i%11)+0.5)
+		sketch.Add(i%37, float64(i%11)+0.5)
+	}
+	encExact, err := measure.EncodeSummary(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encSketch, err := measure.EncodeSummary(sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []string{"pt/a", "pt/b", "pt/c"}
+	frag := &Fragment{
+		Sweep: "unit", Shard: Spec{0, 1}, UniverseHash: UniverseHash(universe),
+		Records: map[string]string{
+			"pt/a": encExact,
+			"pt/b": encSketch,
+			"pt/c": "3.25", // scalar and summary records coexist
+		},
+	}
+	path, err := WriteFragment(dir, frag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFragment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range frag.Records {
+		if got.Records[id] != want {
+			t.Fatalf("record %q = %q, want %q", id, got.Records[id], want)
+		}
+	}
+	dec, err := measure.DecodeSummary(got.Records["pt/b"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err1 := dec.Quantile(0.9)
+	q2, err2 := sketch.Quantile(0.9)
+	if err1 != nil || err2 != nil || q1 != q2 {
+		t.Fatalf("decoded sketch quantile %d (%v) != original %d (%v)", q1, err1, q2, err2)
+	}
+
+	frag.Records["pt/a"] = "m1:exact;not-a-summary"
+	if _, err := WriteFragment(dir, frag, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFragment(path); !errors.Is(err, ErrFragmentIntegrity) {
+		t.Fatalf("corrupt summary record must fail integrity, got %v", err)
 	}
 }
 

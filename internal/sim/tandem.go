@@ -43,6 +43,13 @@ type Tandem struct {
 	// decompositions through PerNode after Run.
 	RecordPerNode bool
 
+	// Sink, when non-nil, receives the through flow's end-to-end
+	// cumulative (arrivals, departures) pair each slot in place of the
+	// internal retained-curve recorder, and Run returns a nil recorder.
+	// Feed a measure.StreamRecorder here to keep measurement memory
+	// independent of the horizon (the sketch backend's streaming path).
+	Sink measure.SlotSink
+
 	// Probe, when non-nil, observes every node's post-service state on
 	// the slots it elects to sample (see Probe). Probes never alter the
 	// simulation: a run with a probe attached is bit-identical to one
@@ -134,12 +141,19 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	}
 
 	var (
-		rec   = measure.NewDelayRecorder(slots)
+		rec   *measure.DelayRecorder
+		sink  measure.SlotSink
 		stats Stats
 		cumA  float64
 		cumD  float64
 		out   = make(map[core.FlowID]float64, 2)
 	)
+	if t.Sink != nil {
+		sink = t.Sink
+	} else {
+		rec = measure.NewDelayRecorder(slots)
+		sink = rec
+	}
 	for slot := 0; slot < slots; slot++ {
 		probing := t.Probe != nil && t.Probe.Sample(slot)
 		// External arrivals.
@@ -191,7 +205,7 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 				stats.MaxBacklog = b
 			}
 		}
-		if err := rec.Record(cumA, cumD); err != nil {
+		if err := sink.Record(cumA, cumD); err != nil {
 			return nil, Stats{}, err
 		}
 		if t.RecordPerNode {

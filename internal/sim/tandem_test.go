@@ -5,10 +5,12 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"deltasched/internal/core"
 	"deltasched/internal/envelope"
+	"deltasched/internal/measure"
 	"deltasched/internal/minplus"
 	"deltasched/internal/traffic"
 )
@@ -34,6 +36,61 @@ func TestTandemNoLoadNoDelay(t *testing.T) {
 	}
 	if mx != 0 {
 		t.Fatalf("underloaded cut-through tandem should have zero delay, got %d", mx)
+	}
+}
+
+// A Tandem with an injected Sink must feed it the exact same cumulative
+// curves the default recorder sees: streaming an exact summary through
+// the sink reproduces the batch distribution bit for bit.
+func TestTandemSinkMatchesRecorder(t *testing.T) {
+	m := envelope.PaperSource()
+	mk := func(seed int64) *Tandem {
+		rng := rand.New(rand.NewSource(seed))
+		through, err := traffic.NewMMOOAggregate(m, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := make([]traffic.Source, 2)
+		for i := range cross {
+			cs, err := traffic.NewMMOOAggregate(m, 10, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cross[i] = cs
+		}
+		return &Tandem{C: 20, Through: through, Cross: cross,
+			MakeSched: func(int) Scheduler { return NewFIFO() }}
+	}
+
+	batch := mk(99)
+	rec, statsBatch, err := batch.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Distribution()
+
+	streamed := mk(99)
+	stream := measure.NewStreamRecorder(measure.BackendExact.New())
+	streamed.Sink = stream
+	recNil, statsStream, err := streamed.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recNil != nil {
+		t.Fatal("Run must not allocate a DelayRecorder when a Sink is injected")
+	}
+	if statsBatch != statsStream {
+		t.Fatalf("stats diverge between sink and recorder runs: %+v vs %+v", statsBatch, statsStream)
+	}
+	got, ok := stream.Finish().(*measure.Distribution)
+	if !ok {
+		t.Fatal("exact stream recorder must yield a *measure.Distribution")
+	}
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatal("streamed exact summary differs from the batch distribution")
+	}
+	if n, _ := want.Samples(); n == 0 {
+		t.Fatal("test run produced no delay samples")
 	}
 }
 
