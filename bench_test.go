@@ -98,6 +98,40 @@ func BenchmarkDelayBound(b *testing.B) {
 	}
 }
 
+// BenchmarkDelayBoundBatched measures the batch γ-grid API: a 48-point
+// grid priced in one Scratch.DelayBoundAtGammas call with the result
+// slice round-tripped as dst, the allocation-free steady state of a
+// figure sweep. The per-γ metric is directly comparable to
+// BenchmarkInnerMinimize's single-probe cost.
+func BenchmarkDelayBoundBatched(b *testing.B) {
+	cfg := core.PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	gmax := cfg.GammaMax()
+	gammas := make([]float64, 0, 48)
+	for i := 1; i <= 48; i++ {
+		gammas = append(gammas, gmax*float64(i)/49)
+	}
+	var s core.Scratch
+	dst, err := s.DelayBoundAtGammas(cfg, 1e-9, gammas, nil) // warm the buffers
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = s.DelayBoundAtGammas(cfg, 1e-9, gammas, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(gammas)), "ns/gamma")
+}
+
 // BenchmarkInnerMinimize measures the exact solver for the optimization
 // problem of Eq. (38) in isolation, through a reused core.Scratch — the
 // steady-state regime of the γ-sweeps, which must stay at 0 allocs/op

@@ -83,6 +83,7 @@ func run(args []string) error {
 	before := fs.String("before", "", "baseline to embed: raw `go test -bench` text or a prior benchjson JSON (default: roll over the out file's after entries)")
 	bench := fs.String("bench", ".", "benchmark selection regexp (go test -bench)")
 	benchtime := fs.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
+	count := fs.Int("count", 1, "benchmark repetitions (go test -count); the recorded measurement is the fastest run")
 	pkgs := fs.String("packages", "./...", "packages to benchmark")
 	diff := fs.Bool("diff", false, "compare two benchjson files (old new) and exit nonzero on regressions")
 	threshold := fs.Float64("threshold", 15, "with -diff: regression tolerance in percent for ns/op and allocs/op")
@@ -134,6 +135,9 @@ func run(args []string) error {
 	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
 	if *benchtime != "" {
 		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	if *count > 1 {
+		cmdArgs = append(cmdArgs, "-count", strconv.Itoa(*count))
 	}
 	cmdArgs = append(cmdArgs, *pkgs)
 	cmd := exec.Command("go", cmdArgs...)
@@ -356,7 +360,10 @@ func readJSON(path string) (*File, error) {
 //	BenchmarkName[-P]  <iters>  <value> <unit>  [<value> <unit>]...
 //
 // interleaved with goos/goarch/pkg/cpu context lines. The -P GOMAXPROCS
-// suffix is stripped so names stay stable across machines.
+// suffix is stripped so names stay stable across machines. Repeated
+// lines for one benchmark (`-count` > 1) keep the fastest run: on a
+// shared machine min-of-runs estimates the code's cost, while mean or
+// last-run also measures the neighbours.
 func parseBench(out string) (map[string]*Measurement, string) {
 	res := map[string]*Measurement{}
 	pkg, cpu := "", ""
@@ -411,7 +418,9 @@ func parseBench(out string) (map[string]*Measurement, string) {
 			}
 		}
 		if ok && m.NsPerOp > 0 {
-			res[name] = m
+			if prev, dup := res[name]; !dup || m.NsPerOp < prev.NsPerOp {
+				res[name] = m
+			}
 		}
 	}
 	return res, cpu

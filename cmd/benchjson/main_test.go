@@ -49,6 +49,21 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchCountKeepsFastestRun(t *testing.T) {
+	const out = `pkg: deltasched
+BenchmarkA   100   3000 ns/op   64 B/op   2 allocs/op
+BenchmarkA   100   1000 ns/op   64 B/op   2 allocs/op
+BenchmarkA   100   2000 ns/op   64 B/op   2 allocs/op
+`
+	res, _ := parseBench(out)
+	if len(res) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(res))
+	}
+	if got := res["BenchmarkA"].NsPerOp; got != 1000 {
+		t.Errorf("duplicate lines must keep the fastest run: got %v ns/op, want 1000", got)
+	}
+}
+
 // writeBenchFile materializes a benchjson File with the given after-side
 // (name → ns/op, allocs/op) pairs.
 func writeBenchFile(t *testing.T, path string, after map[string][2]float64) {

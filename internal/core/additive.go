@@ -17,6 +17,48 @@ type AdditiveResult struct {
 	Gamma   float64   // rate slack chosen by the outer optimization
 }
 
+// addTable is the γ-independent structure of the additive per-node
+// recursion: the output characterization changes only the prefactor and
+// rate from node to node, so the decay chain α_1, α_2, ... and the
+// per-node two-bound merge weights are fixed per configuration and
+// priced once (see envelope.PairPricer). Cached in the Scratch and
+// keyed like the path kernel.
+type addTable struct {
+	valid          bool
+	h              int
+	through, cross envelope.EBB
+	alphas         []float64             // through-chain decay entering node k (0-based)
+	pairs          []envelope.PairPricer // Merge(bg, bs) structure at node k
+}
+
+// ensureAddTable (re)builds the additive pricing chain when the
+// configuration changed since the last call.
+func (s *Scratch) ensureAddTable(cfg PathConfig) *addTable {
+	t := &s.addTab
+	if t.valid && t.h == cfg.H && t.through == cfg.Through && t.cross == cfg.Cross {
+		return t
+	}
+	t.h, t.through, t.cross = cfg.H, cfg.Through, cfg.Cross
+	if cap(t.alphas) < cfg.H {
+		t.alphas = make([]float64, cfg.H)
+		t.pairs = make([]envelope.PairPricer, cfg.H)
+	} else {
+		t.alphas = t.alphas[:cfg.H]
+		t.pairs = t.pairs[:cfg.H]
+	}
+	a := cfg.Through.Alpha
+	for k := 0; k < cfg.H; k++ {
+		p := envelope.NewPairPricer(a, cfg.Cross.Alpha)
+		t.alphas[k] = a
+		t.pairs[k] = p
+		// The merged bound's decay is the next node's through decay —
+		// the same 1/(1/α + 1/α_c) float64 Merge would assign.
+		a = p.Alpha()
+	}
+	t.valid = true
+	return t
+}
+
 // AdditiveBound computes an end-to-end delay bound for blind multiplexing
 // by adding per-node bounds, the classical approach the paper contrasts
 // with its network-service-curve analysis. In discrete time the resulting
@@ -48,9 +90,10 @@ func AdditiveBound(cfg PathConfig, eps float64) (AdditiveResult, error) {
 
 // AdditiveBoundCtx is AdditiveBound with span tracing: with an active
 // span in ctx the solve appears as an "AdditiveBound" span. The γ-sweep
-// prices probes through a D-only evaluation behind a memo — the per-node
-// delay vector is materialized only for the winning γ, so the ~100 sweep
-// probes allocate no PerNode slices.
+// prices probes through a D-only evaluation over the γ-independent
+// decay-chain table (ensureAddTable) — the per-node delay vector is
+// materialized only for the winning γ, and the table amortizes the
+// merge-weight pricing across the whole sweep.
 func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (AdditiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return AdditiveResult{}, err
@@ -64,6 +107,7 @@ func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Additiv
 	defer func() {
 		if p := optProbe.Load(); p != nil {
 			p.AdditiveProbes.Add(nProbes)
+			p.GammaBatchProbes.Add(nProbes)
 		}
 	}()
 
@@ -74,20 +118,32 @@ func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Additiv
 		return AdditiveResult{}, fmt.Errorf("%w: additive analysis infeasible", ErrUnstable)
 	}
 
-	// D-only probes behind a γ-memo: the golden-section bracket collapses
-	// below float spacing in its last iterations, so repeats are served
-	// from the memo instead of re-running the per-node recursion.
-	memo := make(map[float64]float64, 128)
+	s := getScratch()
+	defer putScratch(s)
+	s.ensureAddTable(cfg)
+
+	// D-only probes behind a small γ ring cache: the golden-section
+	// bracket collapses below float spacing in its last iterations, so
+	// the only repeats are among the most recent probes.
+	var ringG, ringD [gammaRingSize]float64
+	ringLen, ringPos := 0, 0
 	evalD := func(g float64) float64 {
-		if d, ok := memo[g]; ok {
-			return d
+		for i := 0; i < ringLen; i++ {
+			if ringG[i] == g {
+				return ringD[i]
+			}
 		}
 		nProbes++
 		d := math.Inf(1)
-		if r, err := additiveAtGamma(cfg, eps, g, false); err == nil {
+		if r, err := s.additiveAtGamma(cfg, eps, g, false); err == nil {
 			d = r.D
 		}
-		memo[g] = d
+		ringG[ringPos] = g
+		ringD[ringPos] = d
+		ringPos = (ringPos + 1) % gammaRingSize
+		if ringLen < gammaRingSize {
+			ringLen++
+		}
 		return d
 	}
 	const gridN = 48
@@ -102,9 +158,9 @@ func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Additiv
 		return AdditiveResult{}, fmt.Errorf("%w: no feasible gamma for additive analysis", ErrUnstable)
 	}
 	g := goldenMin(evalD, math.Max(bestG-gmax/gridN, gmax*1e-9), math.Min(bestG+gmax/gridN, gmax*(1-1e-9)), 50)
-	res, err := additiveAtGamma(cfg, eps, g, true)
+	res, err := s.additiveAtGamma(cfg, eps, g, true)
 	if err != nil || res.D > bestD {
-		res, err = additiveAtGamma(cfg, eps, bestG, true)
+		res, err = s.additiveAtGamma(cfg, eps, bestG, true)
 	}
 	if err == nil {
 		sp.SetAttr("gamma", res.Gamma)
@@ -113,43 +169,54 @@ func AdditiveBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Additiv
 	return res, err
 }
 
-// additiveAtGamma runs the per-node recursion at a fixed γ. With
-// collectPerNode false only the total D is computed (no per-node slice
-// allocation) — the arithmetic is identical either way, so probe and
-// final evaluations agree bit-for-bit.
-func additiveAtGamma(cfg PathConfig, eps, gamma float64, collectPerNode bool) (AdditiveResult, error) {
+// additiveAtGamma runs the per-node recursion at a fixed γ over the
+// Scratch's decay-chain table. With collectPerNode false only the total
+// D is computed (no per-node slice allocation) — the arithmetic is
+// identical either way, so probe and final evaluations agree
+// bit-for-bit. The per-node loop replays the SamplePath + Merge +
+// SigmaFor arithmetic of the untabled recursion expression for
+// expression (the chain's decays and merge weights are the same
+// float64s Merge would recompute), which batch_test.go pins against a
+// verbatim copy of the old code.
+func (s *Scratch) additiveAtGamma(cfg PathConfig, eps, gamma float64, collectPerNode bool) (AdditiveResult, error) {
 	if gamma <= 0 {
 		return AdditiveResult{}, badConfig("gamma must be positive, got %g", gamma)
 	}
+	tab := s.ensureAddTable(cfg)
 	perNodeEps := eps / float64(cfg.H)
 	left := cfg.C - cfg.Cross.Rho - gamma // BMUX leftover service rate
 	if left <= 0 {
 		return AdditiveResult{}, ErrUnstable
 	}
-	_, bs, err := cfg.Cross.SamplePath(gamma)
-	if err != nil {
-		return AdditiveResult{}, err
-	}
+	// Cross sample-path bound prefactor (Theorem 1 with Δ=+∞); its decay
+	// is cfg.Cross.Alpha, carried by the pair tables.
+	bsM := cfg.Cross.M / (1 - math.Exp(-cfg.Cross.Alpha*gamma))
 
-	through := cfg.Through
+	rho := cfg.Through.Rho
+	m := cfg.Through.M
 	res := AdditiveResult{Gamma: gamma}
 	if collectPerNode {
 		res.PerNode = make([]float64, 0, cfg.H)
 	}
-	for h := 1; h <= cfg.H; h++ {
-		if through.Rho+gamma > left {
+	for k := 0; k < cfg.H; k++ {
+		if rho+gamma > left {
+			if !collectPerNode {
+				// D-only sweep probes discard the error's content (the
+				// probe just maps to +Inf), so don't pay fmt for it.
+				return AdditiveResult{}, ErrUnstable
+			}
 			return AdditiveResult{}, fmt.Errorf("%w: node %d (through rate %g, leftover %g)",
-				ErrUnstable, h, through.Rho, left)
+				ErrUnstable, k+1, rho, left)
 		}
-		_, bg, err := through.SamplePath(gamma)
-		if err != nil {
-			return AdditiveResult{}, err
+		// Through sample-path bound at this node, then the two-bound
+		// merge (Eq. 33) priced through the node's pair table.
+		bgM := m / (1 - math.Exp(-tab.alphas[k]*gamma))
+		mergedM := tab.pairs[k].MergeM(bgM, bsM)
+		// σ_h = SigmaFor(eps/H) on the merged bound {mergedM, 1/w}.
+		var sigma float64
+		if mergedM > perNodeEps {
+			sigma = math.Log(mergedM/perNodeEps) / tab.pairs[k].Alpha()
 		}
-		merged, err := envelope.Merge(bg, bs)
-		if err != nil {
-			return AdditiveResult{}, err
-		}
-		sigma := merged.SigmaFor(perNodeEps)
 		d := sigma / left
 		if collectPerNode {
 			res.PerNode = append(res.PerNode, d)
@@ -157,11 +224,8 @@ func additiveAtGamma(cfg PathConfig, eps, gamma float64, collectPerNode bool) (A
 		res.D += d
 
 		// Output characterization: next node's EBB description.
-		through = envelope.EBB{
-			M:     math.Max(1, merged.M),
-			Rho:   through.Rho + gamma,
-			Alpha: merged.Alpha,
-		}
+		m = math.Max(1, mergedM)
+		rho = rho + gamma
 	}
 	return res, nil
 }

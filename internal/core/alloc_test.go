@@ -67,6 +67,91 @@ func TestDelayBoundAtGammaAllocFreeAcrossSchedulers(t *testing.T) {
 	}
 }
 
+// TestDelayBoundAllocFloor pins the package-level DelayBound at one heap
+// allocation per solve — the Theta clone that un-aliases the result from
+// the pooled Scratch (ISSUE 9; down from 16 allocations before the
+// batched kernels). The pooled Scratch may be dropped by a background GC
+// mid-measurement, so the pin allows a small amortized slack above 1
+// rather than exact equality.
+func TestDelayBoundAllocFloor(t *testing.T) {
+	cfg := PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	if _, err := DelayBound(cfg, 1e-9); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DelayBound(cfg, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.5 {
+		t.Errorf("DelayBound allocates %g times per solve at steady state, want 1 (the Theta clone)", allocs)
+	}
+}
+
+// TestScratchDelayBoundAllocFree pins the scratch-reusing full solve —
+// grid sweep, golden refinement, winning re-evaluation — at zero heap
+// allocations once warm.
+func TestScratchDelayBoundAllocFree(t *testing.T) {
+	cfg := PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	var s Scratch
+	if _, err := s.DelayBound(cfg, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.DelayBound(cfg, 1e-9); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Scratch.DelayBound allocates %g times per solve at steady state, want 0", allocs)
+	}
+}
+
+// TestDelayBoundAtGammasAllocFree pins the batch probe API at zero
+// steady-state allocations when the caller round-trips the result slice
+// as dst — the contract that makes γ-grid sweeps allocation-free.
+func TestDelayBoundAtGammasAllocFree(t *testing.T) {
+	cfg := PathConfig{
+		H:       10,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 15, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 35, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	gmax := cfg.GammaMax()
+	gammas := make([]float64, 0, 16)
+	for i := 1; i <= 16; i++ {
+		gammas = append(gammas, gmax*float64(i)/17)
+	}
+	var s Scratch
+	dst, err := s.DelayBoundAtGammas(cfg, 1e-9, gammas, nil) // warm buffers
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = s.DelayBoundAtGammas(cfg, 1e-9, gammas, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Scratch.DelayBoundAtGammas allocates %g times per batch at steady state, want 0", allocs)
+	}
+}
+
 // TestScratchResultMatchesPackageLevel guards the aliasing contract: the
 // scratch path must produce the same numbers as the package-level
 // functions (which run on a fresh Scratch), and reusing the Scratch for

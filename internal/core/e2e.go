@@ -84,8 +84,26 @@ func (cfg PathConfig) GammaMax() float64 {
 type Scratch struct {
 	cands  []float64
 	thetas []float64
-	bounds []envelope.ExpBound
-	memo   map[float64]float64 // γ → D within one DelayBound sweep
+
+	// kern is the γ-independent envelope pricing table (see batch.go):
+	// built once per (H, through, cross) and reused by every γ probe,
+	// including across the Delta0c variations of an EDF fixed-point
+	// solve.
+	kern pathKernel
+
+	// SoA tables of the inner solve, sized h: per-hop service rates
+	// ch_i = C − (i−1)γ and the closed-form ratios σ/ch_i, ch_i − β,
+	// σ/(ch_i − β) that every candidate breakpoint sweeps.
+	chs, soch, chmb, socmb []float64
+
+	// γ→D ring cache of one DelayBound sweep (see evalGammaCached).
+	gringG, gringD [gammaRingSize]float64
+	gringLen       int
+	gringPos       int
+
+	// addTab is the additive analysis' γ-independent per-node decay
+	// chain and pair-merge tables (see additive.go).
+	addTab addTable
 
 	// stats are plain-integer introspection counts, batch-flushed to the
 	// installed OptProbe once per top-level solve (see introspect.go).
@@ -103,7 +121,11 @@ type Scratch struct {
 // effective bandwidth (MMOO sources) should additionally sweep α via
 // OptimizeAlpha.
 func DelayBound(cfg PathConfig, eps float64) (Result, error) {
-	return new(Scratch).DelayBound(cfg, eps)
+	s := getScratch()
+	defer putScratch(s)
+	r, err := s.DelayBound(cfg, eps)
+	r.Theta = append([]float64(nil), r.Theta...) // un-alias from the pooled scratch
+	return r, err
 }
 
 // DelayBound is the scratch-reusing form of the package-level DelayBound;
@@ -122,32 +144,17 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	s.stats.delayBoundCalls++
 	defer s.flushOptStats()
 
-	// The γ-memo catches re-probes of the same slack: the golden-section
-	// bracket collapses below float spacing in its last iterations, and the
-	// post-refinement fallback re-prices the grid winner. Cleared, not
-	// reallocated, so steady-state sweeps stay allocation-free.
-	if s.memo == nil {
-		s.memo = make(map[float64]float64, 128)
-	} else {
-		clear(s.memo)
-	}
-	eval := func(g float64) float64 {
-		if d, ok := s.memo[g]; ok {
-			s.stats.gammaMemoHits++
-			return d
-		}
-		d := math.Inf(1)
-		if r, err := s.delayBoundAtGamma(cfg, eps, g); err == nil {
-			d = r.D
-		}
-		s.memo[g] = d
-		return d
-	}
+	// The γ→D ring cache catches re-probes of the same slack: the
+	// golden-section bracket collapses below float spacing in its last
+	// iterations, so repeats are always among the most recent probes.
+	s.gringLen, s.gringPos = 0, 0
 
 	// The γ-sweep's ~100 probes run with the span suppressed; only the
 	// winning evaluation below is traced, so a trace shows one
 	// representative delayBoundAtGamma → innerMinimize chain per solve
-	// instead of drowning in probe spans.
+	// instead of drowning in probe spans. The probes themselves go
+	// through the D-only table-driven kernel (batch.go); the winner is
+	// re-priced in full, with θ, below.
 	span := s.span
 	s.span = nil
 
@@ -156,7 +163,7 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	bestG, bestD := 0.0, math.Inf(1)
 	for i := 1; i <= gridN; i++ {
 		g := gmax * float64(i) / float64(gridN+1)
-		if d := eval(g); d < bestD {
+		if d := s.evalGammaCached(cfg, eps, g); d < bestD {
 			bestD, bestG = d, g
 		}
 	}
@@ -166,7 +173,7 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 	}
 	lo := math.Max(bestG-gmax/float64(gridN+1), gmax*1e-9)
 	hi := math.Min(bestG+gmax/float64(gridN+1), gmax*(1-1e-9))
-	g := goldenMin(eval, lo, hi, 60)
+	g := s.goldenGammaMin(cfg, eps, lo, hi, 60)
 	s.span = span
 	res, err := s.delayBoundAtGamma(cfg, eps, g)
 	if err != nil {
@@ -183,7 +190,11 @@ func (s *Scratch) DelayBound(cfg PathConfig, eps float64) (Result, error) {
 // whose winning γ evaluation is traced down to innerMinimize. Without a
 // span in the context it is exactly DelayBound.
 func DelayBoundCtx(ctx context.Context, cfg PathConfig, eps float64) (Result, error) {
-	return new(Scratch).DelayBoundCtx(ctx, cfg, eps)
+	s := getScratch()
+	defer putScratch(s)
+	r, err := s.DelayBoundCtx(ctx, cfg, eps)
+	r.Theta = append([]float64(nil), r.Theta...) // un-alias from the pooled scratch
+	return r, err
 }
 
 // DelayBoundCtx is the scratch-reusing form of the package-level
@@ -208,7 +219,11 @@ func (s *Scratch) DelayBoundCtx(ctx context.Context, cfg PathConfig, eps float64
 
 // DelayBoundAtGamma computes the delay bound for a fixed rate slack γ.
 func DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
-	return new(Scratch).DelayBoundAtGamma(cfg, eps, gamma)
+	s := getScratch()
+	defer putScratch(s)
+	r, err := s.DelayBoundAtGamma(cfg, eps, gamma)
+	r.Theta = append([]float64(nil), r.Theta...) // un-alias from the pooled scratch
+	return r, err
 }
 
 // DelayBoundAtGamma is the scratch-reusing form of the package-level
@@ -227,15 +242,12 @@ func (s *Scratch) DelayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result,
 // probe through here.
 func (s *Scratch) delayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result, error) {
 	s.stats.gammaProbes++
+	s.stats.gammaBatchProbes++ // pathBound prices through the per-config table
 	if gamma <= 0 || gamma >= cfg.GammaMax() {
 		return Result{}, badConfig("gamma %g outside (0, %g)", gamma, cfg.GammaMax())
 	}
 	sp := s.span.Child("delayBoundAtGamma")
-	bound, err := s.pathBound(cfg.H, cfg.Through, cfg.Cross, gamma, math.IsInf(cfg.Delta0c, -1))
-	if err != nil {
-		sp.End()
-		return Result{}, err
-	}
+	bound := s.pathBound(cfg, gamma)
 	sigma := bound.SigmaFor(eps)
 	isp := sp.Child("innerMinimize")
 	d, x := s.innerMinimize(cfg.H, cfg.C, gamma, cfg.Cross.Rho, cfg.Delta0c, sigma)
@@ -255,37 +267,28 @@ func (s *Scratch) delayBoundAtGamma(cfg PathConfig, eps, gamma float64) (Result,
 // bound via Eq. (33). For H=1 and the homogeneous M=M_c=1 case this
 // reproduces the paper's closed form Eq. (34), which the tests verify.
 //
-// The EBB→sample-path conversion (envelope.EBB.SamplePath) is inlined
-// here without its per-call revalidation: the traffic descriptions are
-// γ-independent and validated once per sweep at the DelayBound entry, so
-// a γ-probe pays only the two γ-dependent exponentials. The arithmetic is
-// expression-for-expression that of SamplePath, keeping results
-// bit-identical to the un-inlined form.
+// The assembly is table-driven: the γ-independent merge structure lives
+// in the Scratch's envelope.PathPricer (built once per configuration by
+// ensurePricer), and each probe pays only the γ-dependent exponentials.
+// The pricer replays the list-and-Merge arithmetic expression for
+// expression, so results are bit-identical to materializing the segment
+// slice and calling envelope.Merge — pinned by batch_test.go's
+// reference-implementation parity tests.
 //
 // When the cross traffic never precedes the through flow (Δ_{0,c} = −∞,
 // strict priority), Theorem 1 removes it from N_{−j}: the per-node service
 // guarantee is deterministic and only the through envelope's bound is
 // paid.
-func (s *Scratch) pathBound(h int, through, cross envelope.EBB, gamma float64, excludeCross bool) (envelope.ExpBound, error) {
-	bg := envelope.ExpBound{M: through.M / (1 - math.Exp(-through.Alpha*gamma)), Alpha: through.Alpha}
-	if excludeCross {
+func (s *Scratch) pathBound(cfg PathConfig, gamma float64) envelope.ExpBound {
+	p := s.ensurePricer(cfg)
+	if math.IsInf(cfg.Delta0c, -1) {
 		s.stats.envSegs++
-		return bg, nil
+		return p.ThroughBoundAt(gamma)
 	}
-	bc := envelope.ExpBound{M: cross.M / (1 - math.Exp(-cross.Alpha*gamma)), Alpha: cross.Alpha}
-	s.bounds = append(s.bounds[:0], bg)
 	// Node H enters plainly; nodes 1..H−1 carry the extra union-bound sum
 	// Σ_{j>=0} ε(σ + jγ) = ε(σ)/(1−e^{−αγ}) from the convolution theorem.
-	s.bounds = append(s.bounds, bc)
-	if h > 1 {
-		q := 1 - math.Exp(-bc.Alpha*gamma)
-		per := envelope.ExpBound{M: bc.M / q, Alpha: bc.Alpha}
-		for i := 1; i < h; i++ {
-			s.bounds = append(s.bounds, per)
-		}
-	}
-	s.stats.envSegs += int64(len(s.bounds))
-	return envelope.Merge(s.bounds...)
+	s.stats.envSegs += int64(p.Segments())
+	return p.BoundAt(gamma)
 }
 
 // innerMinimize solves the optimization problem of Eq. (38) on a fresh
@@ -308,8 +311,274 @@ func innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64
 // which are enumerated. Returns the optimal d and X; the optimal θ^1..θ^H
 // are left in s.thetas.
 func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64) {
+	d, xOpt = s.innerSolve(h, c, gamma, rhoc, delta, sigma)
+	beta := rhoc + gamma
+	if cap(s.thetas) < h {
+		s.thetas = make([]float64, h)
+	} else {
+		s.thetas = s.thetas[:h]
+	}
+	// innerSolve leaves the per-hop rate table in s.chs; chs[i−1] is the
+	// same float64 as c − (i−1)γ recomputed.
+	for i := 1; i <= h; i++ {
+		s.thetas[i-1] = thetaAt(s.chs[i-1], beta, delta, sigma, xOpt)
+	}
+	return d, xOpt
+}
+
+// growTo returns buf resized to n valid entries, reusing its backing
+// array when large enough.
+func growTo(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// innerSolve is innerMinimize without the θ-vector fill: the candidate
+// enumeration and breakpoint sweep over the Scratch's SoA tables. The γ
+// sweeps run ~100 of these per DelayBound and never read θ, so the fill
+// is paid only by the winning evaluation (innerMinimize).
+//
+// The evaluation loop is a regime-specialized replay of thetaAt over
+// precomputed per-hop tables: same expressions, same operand order, same
+// summation sequence, so d and xOpt are bit-identical to calling thetaAt
+// per hop (pinned by batch_test.go against a verbatim copy of the old
+// loop). Inputs the closed forms are not safe for — NaN parameters,
+// non-positive service rates, infinite σ — fall back to the thetaAt
+// loop itself, preserving its NaN propagation exactly.
+func (s *Scratch) innerSolve(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64) {
 	s.stats.innerCalls++
 	beta := rhoc + gamma // rate of the cross sample-path envelope
+
+	// Per-hop service rates ch_i = C − (i−1)γ. float64(i) below ranges
+	// 0..h−1, matching the 1-based formula's (i−1).
+	s.chs = growTo(s.chs, h)
+	chs := s.chs
+	for i := 0; i < h; i++ {
+		chs[i] = c - float64(i)*gamma
+	}
+
+	// The specialized sweeps assume every θ term evaluates finite and
+	// non-negative: positive service rates (net of β where the regime
+	// divides by ch−β), finite non-negative σ and β. Anything else —
+	// unreachable through validated configurations, but reachable through
+	// the exported innerMinimize — takes the verbatim thetaAt loop.
+	spCase := math.IsInf(delta, -1)
+	fast := !math.IsNaN(delta) &&
+		sigma >= 0 && !math.IsInf(sigma, 1) &&
+		beta >= 0 && !math.IsInf(beta, 1) &&
+		gamma > 0 && !math.IsInf(c, 1) &&
+		chs[h-1] > 0
+	if fast && !spCase {
+		fast = chs[h-1]-beta > 0
+	}
+	if !fast {
+		return s.innerSolveSlow(h, c, gamma, rhoc, delta, sigma)
+	}
+
+	// SoA ratio tables per Δ regime. soch[i] = σ/ch_i is the β-free
+	// θ intercept; chmb[i] = ch_i − β and socmb[i] = σ/(ch_i − β) are the
+	// pre-saturation pieces of the Δ >= 0 regime.
+	switch {
+	case spCase:
+		s.soch = growTo(s.soch, h)
+		for i := 0; i < h; i++ {
+			s.soch[i] = sigma / chs[i]
+		}
+	case delta <= 0:
+		s.soch = growTo(s.soch, h)
+		s.chmb = growTo(s.chmb, h)
+		for i := 0; i < h; i++ {
+			s.soch[i] = sigma / chs[i]
+			s.chmb[i] = chs[i] - beta
+		}
+	default:
+		s.chmb = growTo(s.chmb, h)
+		s.socmb = growTo(s.socmb, h)
+		for i := 0; i < h; i++ {
+			s.chmb[i] = chs[i] - beta
+			s.socmb[i] = sigma / s.chmb[i]
+		}
+	}
+
+	// Candidate breakpoints of d(X), enumerated from the tables in the
+	// same order (and with the same arithmetic) as the formula-per-hop
+	// enumeration.
+	cands := append(s.cands[:0], 0)
+	switch {
+	case spCase:
+		for i := 0; i < h; i++ {
+			cands = append(cands, s.soch[i])
+		}
+	case delta <= 0:
+		md := -delta
+		numB := sigma + beta*delta
+		for i := 0; i < h; i++ {
+			if x := s.soch[i]; x <= md {
+				cands = append(cands, x)
+			}
+			if x := numB / s.chmb[i]; x >= md {
+				cands = append(cands, x)
+			}
+			cands = append(cands, md)
+		}
+	default: // delta >= 0, possibly +Inf
+		finite := !math.IsInf(delta, 1)
+		for i := 0; i < h; i++ {
+			cands = append(cands, s.socmb[i])
+			if finite {
+				if x := s.socmb[i] - delta; x > 0 {
+					cands = append(cands, x)
+				}
+			}
+		}
+	}
+	s.cands = cands
+	s.stats.innerCands += int64(len(cands))
+
+	// Breakpoint sweep. Two value slots memoize the systematically
+	// repeated candidates — X = 0 and X = −Δ (appended once per hop) —
+	// so each distinct breakpoint is priced once. d(X) is a pure
+	// function of X given the tables, so replaying a slot is exact.
+	//
+	// The θ-sum loops carry an early bail: once the partial sum exceeds
+	// bailAt := best + 5e-12·(1+best), the candidate can neither win nor
+	// tie and its remaining hops are skipped. Soundness: partials are
+	// non-decreasing up to ~1e-13 relative rounding (the Δ >= 0 regime
+	// adds unguarded saturation terms that can round a hair below zero),
+	// so the final total T satisfies T > best·(1+4e-12) + 4e-12, which
+	// puts T strictly above the adoption switch's best + 1e-12·(1+|T|)
+	// tie threshold — the 5e-12 margin dominates both the 1e-12
+	// tolerance and every rounding slack. The same threshold pre-gates
+	// the adoption switch, so losing candidates pay one compare instead
+	// of the Abs/tol arithmetic.
+	best, bailAt := math.Inf(1), math.Inf(1)
+	soch, chmb, socmb := s.soch, s.chmb, s.socmb
+	var zeroTot, mdTot float64
+	zeroSet, mdSet := false, false
+	md := -delta // only consulted in the delta <= 0 regime
+	for _, x := range cands {
+		if x < 0 {
+			continue // fast-path tables are NaN-free, so x < 0 is the only skip
+		}
+		var total float64
+		switch {
+		case zeroSet && x == 0:
+			total = zeroTot
+		case mdSet && x == md:
+			total = mdTot
+		default:
+			total = x
+			bailed := false
+			switch {
+			case spCase:
+				for i := 0; i < h; i++ {
+					if v := soch[i] - x; v > 0 {
+						total += v
+					}
+				}
+			case delta <= 0:
+				if x <= md {
+					for i := 0; i < h; i++ {
+						if v := soch[i] - x; v > 0 {
+							total += v
+						}
+					}
+				} else {
+					num := sigma + beta*(x+delta)
+					// Active hops form a suffix: num/chs[i] grows as
+					// chs[i] falls, so hops whose division test fails
+					// form a prefix. Screen it with a multiply —
+					// x·chs[i] >= num·(1+1e-15) guarantees the exact
+					// test num/chs[i] − x > 0 fails, the margin
+					// absorbing both roundings — and divide only from
+					// the first ambiguous hop, where the exact test
+					// still decides.
+					numHi := num * (1 + 1e-15)
+					i := 0
+					for i < h && x*chs[i] >= numHi {
+						i++
+					}
+					for ; i < h; i++ {
+						if v := num/chs[i] - x; v > 0 {
+							total += v
+							if total > bailAt {
+								bailed = true
+								break
+							}
+						}
+					}
+				}
+			default:
+				// θ^i(X) by phase, exploiting monotonicity in i: the
+				// inactive hops ((ch−β)X >= σ) form a prefix, the
+				// saturated hops (θ_A > Δ) a suffix, with the linear
+				// θ_A = σ/(ch−β) − X region in between. Each phase adds
+				// exactly the term thetaAt would return for that hop.
+				i := 0
+				for i < h && chmb[i]*x >= sigma {
+					i++
+				}
+				sat := false
+				for ; i < h; i++ {
+					thetaA := socmb[i] - x
+					if thetaA > delta {
+						sat = true
+						break
+					}
+					total += thetaA
+					if total > bailAt {
+						bailed = true
+						break
+					}
+				}
+				if sat {
+					num := sigma + beta*(x+delta)
+					for ; i < h; i++ {
+						total += num/chs[i] - x
+						if total > bailAt {
+							bailed = true
+							break
+						}
+					}
+				}
+			}
+			if bailed {
+				continue // cannot beat best, cannot tie: no dedup slot either
+			}
+			if x == 0 {
+				zeroTot, zeroSet = total, true
+			} else if x == md {
+				mdTot, mdSet = total, true
+			}
+		}
+		if total > bailAt {
+			continue // dedup replays and bail-free sums above the tie band
+		}
+		// Ties (d is constant along plateaus, e.g. for BMUX) break toward
+		// the larger X, which deactivates θ terms and matches the paper's
+		// canonical solutions (θ = 0 for blind multiplexing, Eq. 43).
+		switch tol := 1e-12 * (1 + math.Abs(total)); {
+		case math.IsInf(best, 1):
+			best, xOpt = total, x
+			bailAt = best + 5e-12*(1+best)
+		case total < best-tol:
+			best, xOpt = total, x
+			bailAt = best + 5e-12*(1+best)
+		case total <= best+tol && x > xOpt:
+			xOpt = x
+		}
+	}
+	return best, xOpt
+}
+
+// innerSolveSlow is the original formula-per-hop breakpoint sweep,
+// kept verbatim as the fallback for inputs outside the specialized
+// sweep's domain (and as the reference the fast path is tested
+// against).
+func (s *Scratch) innerSolveSlow(h int, c, gamma, rhoc, delta, sigma float64) (d, xOpt float64) {
+	beta := rhoc + gamma
 
 	// Candidate breakpoints of d(X).
 	cands := append(s.cands[:0], 0)
@@ -347,9 +616,6 @@ func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d,
 		for i := 1; i <= h; i++ {
 			total += thetaAt(c-float64(i-1)*gamma, beta, delta, sigma, x)
 		}
-		// Ties (d is constant along plateaus, e.g. for BMUX) break toward
-		// the larger X, which deactivates θ terms and matches the paper's
-		// canonical solutions (θ = 0 for blind multiplexing, Eq. 43).
 		switch tol := 1e-12 * (1 + math.Abs(total)); {
 		case math.IsInf(best, 1):
 			best, xOpt = total, x
@@ -358,14 +624,6 @@ func (s *Scratch) innerMinimize(h int, c, gamma, rhoc, delta, sigma float64) (d,
 		case total <= best+tol && x > xOpt:
 			xOpt = x
 		}
-	}
-	if cap(s.thetas) < h {
-		s.thetas = make([]float64, h)
-	} else {
-		s.thetas = s.thetas[:h]
-	}
-	for i := 1; i <= h; i++ {
-		s.thetas[i-1] = thetaAt(c-float64(i-1)*gamma, beta, delta, sigma, xOpt)
 	}
 	return best, xOpt
 }
@@ -606,7 +864,8 @@ func OptimizeAlphaCtx(ctx context.Context, build func(alpha float64) (PathConfig
 // optimizeAlpha is OptimizeAlpha returning the winning α as well, for
 // callers (the Ctx variant) that need to rebuild the winning config.
 func optimizeAlpha(build func(alpha float64) (PathConfig, error), eps, alphaLo, alphaHi float64) (float64, Result, error) {
-	var s Scratch
+	s := getScratch()
+	defer putScratch(s)
 	results := make(map[float64]Result, 96)
 	a, _, err := OptimizeAlphaFunc(func(alpha float64) (float64, error) {
 		cfg, err := build(alpha)

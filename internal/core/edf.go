@@ -46,7 +46,11 @@ func EDFProvisionedCtx(ctx context.Context, cfg PathConfig, eps, ratio float64) 
 	sp := obs.SpanFromContext(ctx).Child("EDFProvisioned")
 	defer sp.End()
 
-	var s Scratch
+	// The whole solve shares one pooled Scratch; the path pricing table
+	// is keyed on the traffic only, so every bisection step's DelayBound
+	// (a different Delta0c) reuses the same priced envelope structure.
+	s := getScratch()
+	defer putScratch(s)
 	bmuxCfg := cfg
 	bmuxCfg.Delta0c = math.Inf(1)
 	bmux, err := s.DelayBound(bmuxCfg, eps)

@@ -19,17 +19,18 @@ import (
 // therefore costs one atomic pointer load and a handful of integer
 // increments per bound — the <2% envelope the benchmarks pin.
 type OptProbe struct {
-	DelayBoundCalls *obs.Counter // top-level γ-optimized DelayBound solves
-	GammaProbes     *obs.Counter // delayBoundAtGamma evaluations (grid + golden + final)
-	GammaMemoHits   *obs.Counter // γ re-probes served from the Scratch memo
-	InnerMinCalls   *obs.Counter // innerMinimize solves
-	InnerCandidates *obs.Counter // candidate breakpoints priced by innerMinimize
-	EnvelopeSegs    *obs.Counter // envelope segments assembled and merged by pathBound
-	AlphaSweeps     *obs.Counter // OptimizeAlphaFunc sweeps
-	AlphaProbes     *obs.Counter // α evaluations priced (memo misses)
-	AlphaMemoHits   *obs.Counter // α re-probes served from the sweep memo
-	EDFBisections   *obs.Counter // EDF fixed-point bisection iterations
-	AdditiveProbes  *obs.Counter // additive-analysis γ evaluations
+	DelayBoundCalls  *obs.Counter // top-level γ-optimized DelayBound solves
+	GammaProbes      *obs.Counter // delayBoundAtGamma evaluations (grid + golden + final)
+	GammaBatchProbes *obs.Counter // γ probes priced through the batched table-driven kernels
+	GammaMemoHits    *obs.Counter // γ re-probes served from the Scratch memo
+	InnerMinCalls    *obs.Counter // innerMinimize solves
+	InnerCandidates  *obs.Counter // candidate breakpoints priced by innerMinimize
+	EnvelopeSegs     *obs.Counter // envelope segments assembled and merged by pathBound
+	AlphaSweeps      *obs.Counter // OptimizeAlphaFunc sweeps
+	AlphaProbes      *obs.Counter // α evaluations priced (memo misses)
+	AlphaMemoHits    *obs.Counter // α re-probes served from the sweep memo
+	EDFBisections    *obs.Counter // EDF fixed-point bisection iterations
+	AdditiveProbes   *obs.Counter // additive-analysis γ evaluations
 }
 
 // optProbe is the process-wide probe seam. An atomic pointer rather than
@@ -45,12 +46,13 @@ func SetOptProbe(p *OptProbe) { optProbe.Store(p) }
 // top-level solve, flushed in one batch so the sweep loops pay integer
 // increments, not atomics.
 type optStats struct {
-	delayBoundCalls int64
-	gammaProbes     int64
-	gammaMemoHits   int64
-	innerCalls      int64
-	innerCands      int64
-	envSegs         int64
+	delayBoundCalls  int64
+	gammaProbes      int64
+	gammaBatchProbes int64
+	gammaMemoHits    int64
+	innerCalls       int64
+	innerCands       int64
+	envSegs          int64
 }
 
 // flushOptStats batches the accumulated counts into the installed probe
@@ -64,6 +66,7 @@ func (s *Scratch) flushOptStats() {
 	}
 	p.DelayBoundCalls.Add(st.delayBoundCalls)
 	p.GammaProbes.Add(st.gammaProbes)
+	p.GammaBatchProbes.Add(st.gammaBatchProbes)
 	p.GammaMemoHits.Add(st.gammaMemoHits)
 	p.InnerMinCalls.Add(st.innerCalls)
 	p.InnerCandidates.Add(st.innerCands)

@@ -15,17 +15,18 @@ func testProbe(t *testing.T) *OptProbe {
 	t.Helper()
 	r := obs.NewRegistry()
 	p := &OptProbe{
-		DelayBoundCalls: r.Counter("delaybound_calls", "", nil),
-		GammaProbes:     r.Counter("gamma_probes", "", nil),
-		GammaMemoHits:   r.Counter("gamma_memo_hits", "", nil),
-		InnerMinCalls:   r.Counter("innermin_calls", "", nil),
-		InnerCandidates: r.Counter("innermin_candidates", "", nil),
-		EnvelopeSegs:    r.Counter("envelope_segments", "", nil),
-		AlphaSweeps:     r.Counter("alpha_sweeps", "", nil),
-		AlphaProbes:     r.Counter("alpha_probes", "", nil),
-		AlphaMemoHits:   r.Counter("alpha_memo_hits", "", nil),
-		EDFBisections:   r.Counter("edf_bisections", "", nil),
-		AdditiveProbes:  r.Counter("additive_probes", "", nil),
+		DelayBoundCalls:  r.Counter("delaybound_calls", "", nil),
+		GammaProbes:      r.Counter("gamma_probes", "", nil),
+		GammaBatchProbes: r.Counter("gamma_batch_probes", "", nil),
+		GammaMemoHits:    r.Counter("gamma_memo_hits", "", nil),
+		InnerMinCalls:    r.Counter("innermin_calls", "", nil),
+		InnerCandidates:  r.Counter("innermin_candidates", "", nil),
+		EnvelopeSegs:     r.Counter("envelope_segments", "", nil),
+		AlphaSweeps:      r.Counter("alpha_sweeps", "", nil),
+		AlphaProbes:      r.Counter("alpha_probes", "", nil),
+		AlphaMemoHits:    r.Counter("alpha_memo_hits", "", nil),
+		EDFBisections:    r.Counter("edf_bisections", "", nil),
+		AdditiveProbes:   r.Counter("additive_probes", "", nil),
 	}
 	SetOptProbe(p)
 	t.Cleanup(func() { SetOptProbe(nil) })
@@ -54,6 +55,11 @@ func TestOptProbeCountsDelayBound(t *testing.T) {
 	if p.InnerCandidates.Load() == 0 || p.EnvelopeSegs.Load() == 0 {
 		t.Errorf("candidates = %d, segments = %d, want both > 0",
 			p.InnerCandidates.Load(), p.EnvelopeSegs.Load())
+	}
+	// The scalar entry point runs on the batched table-driven kernel, so
+	// every γ probe is also a batch probe.
+	if b, g := p.GammaBatchProbes.Load(), p.GammaProbes.Load(); b < g {
+		t.Errorf("gamma_batch_probes = %d < gamma_probes = %d: scalar path must price through the tables", b, g)
 	}
 	// Memo hits depend on whether the refinement lands back on probed
 	// gammas; only the invariant is asserted, not a workload count.

@@ -1,0 +1,147 @@
+package envelope
+
+import "math"
+
+// PathPricer is the γ-independent part of the end-to-end path bound
+// assembly: Merge over the bound list [bg, bc, per×(h−1)] that
+// core's pathBound builds per γ probe. For fixed traffic descriptions
+// the merged decay w = Σ 1/α_j and the per-term weights α_j·w never
+// change across the γ sweep, so they are priced once here; BoundAt
+// then pays only the γ-dependent exponentials and logarithms per
+// probe.
+//
+// The arithmetic of BoundAt replays Merge's operation order
+// expression for expression — same sums in the same sequence, same
+// association of products — so its results are bit-identical to
+// building the slice and calling Merge. That contract is what lets
+// core keep its CSV goldens byte-identical; it is pinned by property
+// tests in internal/core.
+type PathPricer struct {
+	through, cross ExpBound // increment bounds (M, α) of the two aggregates
+	h              int
+
+	w    float64 // Σ 1/α over the h+1 merged terms, summed in Merge's order
+	atw  float64 // through.Alpha · w
+	acw  float64 // cross.Alpha · w
+	invW float64 // 1 / w — the merged bound's Alpha
+
+	sameAlpha bool // cross.Alpha == through.Alpha: one union-bound denominator
+	sameM     bool // sameAlpha && cross.M == through.M: bc's log term equals bg's
+}
+
+// NewPathPricer prices the structure of the h-hop path bound for the
+// given through/cross increment bounds. Increment prefactors are
+// required positive (EBB validation guarantees M >= 1); h >= 1.
+func NewPathPricer(through, cross ExpBound, h int) PathPricer {
+	p := PathPricer{through: through, cross: cross, h: h}
+	// Merge's w accumulates sequentially over [bg, bc, per, per, ...];
+	// bg/bc/per all inherit the increment bounds' alphas.
+	w := 0.0
+	w += 1 / through.Alpha
+	w += 1 / cross.Alpha
+	for i := 1; i < h; i++ {
+		w += 1 / cross.Alpha
+	}
+	p.w = w
+	p.atw = through.Alpha * w
+	p.acw = cross.Alpha * w
+	p.invW = 1 / w
+	p.sameAlpha = cross.Alpha == through.Alpha
+	p.sameM = p.sameAlpha && cross.M == through.M
+	return p
+}
+
+// BoundAt returns the merged path bound at rate slack gamma > 0,
+// bit-identical to
+//
+//	bg  := {through.M / (1 − e^{−α_t γ}), α_t}
+//	bc  := {cross.M   / (1 − e^{−α_c γ}), α_c}
+//	per := {bc.M / (1 − e^{−α_c γ}), α_c}   // ×(h−1)
+//	Merge(bg, bc, per, ..., per)
+//
+// which is exactly the list core's pathBound assembles. The prefactors
+// are strictly positive (M >= 1 over a finite denominator), so Merge's
+// zero-term skip never fires and the log sum runs over every term.
+func (p *PathPricer) BoundAt(gamma float64) ExpBound {
+	qt := 1 - math.Exp(-p.through.Alpha*gamma)
+	bgM := p.through.M / qt
+	qc := qt
+	if !p.sameAlpha {
+		qc = 1 - math.Exp(-p.cross.Alpha*gamma)
+	}
+	bcM := p.cross.M / qc
+
+	// Merge's logM accumulates sequentially: bg's term, bc's term, then
+	// h−1 identical per-hop terms. Adding the same float64 k times is
+	// reproduced by the loop below exactly as Merge's range does it.
+	tg := math.Log(bgM*p.through.Alpha*p.w) / p.atw
+	logM := tg
+	if p.sameM {
+		logM += tg
+	} else {
+		logM += math.Log(bcM*p.cross.Alpha*p.w) / p.acw
+	}
+	if p.h > 1 {
+		perM := bcM / qc
+		tp := math.Log(perM*p.cross.Alpha*p.w) / p.acw
+		for i := 1; i < p.h; i++ {
+			logM += tp
+		}
+	}
+	return ExpBound{M: math.Exp(logM), Alpha: p.invW}
+}
+
+// ThroughBoundAt returns only the through aggregate's sample-path
+// bound at gamma — the strict-priority (Δ = −∞) case, where Theorem 1
+// removes the cross traffic from the path bound entirely. Bit-identical
+// to {through.M / (1 − e^{−α_t γ}), α_t}.
+func (p *PathPricer) ThroughBoundAt(gamma float64) ExpBound {
+	return ExpBound{M: p.through.M / (1 - math.Exp(-p.through.Alpha*gamma)), Alpha: p.through.Alpha}
+}
+
+// Segments returns the number of envelope segments a BoundAt evaluation
+// stands in for (the length of the merged list), for introspection
+// accounting parity with the materialized path.
+func (p *PathPricer) Segments() int { return p.h + 1 }
+
+// PairPricer is the γ-independent part of Merge(a, b) for two bounds of
+// fixed decays: the additive per-node recursion merges the through and
+// cross sample-path bounds at every node, and while the prefactors
+// change from node to node (they carry the γ-dependent union-bound
+// denominators), the decay chain α_1, α_2, ... is γ-independent. MergeM
+// replays Merge's arithmetic for two positive-prefactor bounds in the
+// identical operation order.
+type PairPricer struct {
+	a1, a2 float64 // the two decays, in merge order
+
+	w    float64 // 1/a1 + 1/a2, summed in order
+	a1w  float64 // a1 · w
+	a2w  float64 // a2 · w
+	invW float64 // 1 / w — the merged bound's Alpha
+}
+
+// NewPairPricer prices Merge for the fixed decay pair (alpha1, alpha2),
+// both > 0.
+func NewPairPricer(alpha1, alpha2 float64) PairPricer {
+	p := PairPricer{a1: alpha1, a2: alpha2}
+	w := 0.0
+	w += 1 / alpha1
+	w += 1 / alpha2
+	p.w = w
+	p.a1w = alpha1 * w
+	p.a2w = alpha2 * w
+	p.invW = 1 / w
+	return p
+}
+
+// MergeM returns Merge({m1, a1}, {m2, a2}).M for positive prefactors,
+// bit-identical to the two-bound Merge. The merged Alpha is Alpha().
+func (p *PairPricer) MergeM(m1, m2 float64) float64 {
+	logM := math.Log(m1*p.a1*p.w) / p.a1w
+	logM += math.Log(m2*p.a2*p.w) / p.a2w
+	return math.Exp(logM)
+}
+
+// Alpha returns the merged bound's decay, 1/(1/a1 + 1/a2), with the
+// same rounding as Merge's final division.
+func (p *PairPricer) Alpha() float64 { return p.invW }

@@ -1,0 +1,99 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mergeList materializes the [bg, bc, per×(h−1)] list exactly as core's
+// pre-table pathBound did and runs it through Merge — the reference the
+// PathPricer's replayed arithmetic must match bit for bit.
+func mergeList(through, cross ExpBound, h int, gamma float64) ExpBound {
+	bg := ExpBound{M: through.M / (1 - math.Exp(-through.Alpha*gamma)), Alpha: through.Alpha}
+	bc := ExpBound{M: cross.M / (1 - math.Exp(-cross.Alpha*gamma)), Alpha: cross.Alpha}
+	bounds := []ExpBound{bg, bc}
+	if h > 1 {
+		q := 1 - math.Exp(-bc.Alpha*gamma)
+		per := ExpBound{M: bc.M / q, Alpha: bc.Alpha}
+		for i := 1; i < h; i++ {
+			bounds = append(bounds, per)
+		}
+	}
+	merged, err := Merge(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return merged
+}
+
+func TestPathPricerBitIdenticalToMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	check := func(through, cross ExpBound, h int, gamma float64) {
+		t.Helper()
+		p := NewPathPricer(through, cross, h)
+		got := p.BoundAt(gamma)
+		want := mergeList(through, cross, h, gamma)
+		if math.Float64bits(got.M) != math.Float64bits(want.M) ||
+			math.Float64bits(got.Alpha) != math.Float64bits(want.Alpha) {
+			t.Fatalf("BoundAt(%g) h=%d through=%+v cross=%+v:\n got {%v %v}\nwant {%v %v}",
+				gamma, h, through, cross, got.M, got.Alpha, want.M, want.Alpha)
+		}
+		if p.Segments() != h+1 {
+			t.Fatalf("Segments() = %d, want %d", p.Segments(), h+1)
+		}
+	}
+
+	// The structured corners: shared decay, shared prefactor, both, neither.
+	corners := []struct{ through, cross ExpBound }{
+		{ExpBound{M: 1, Alpha: 0.1}, ExpBound{M: 1, Alpha: 0.1}},
+		{ExpBound{M: 2, Alpha: 0.1}, ExpBound{M: 1, Alpha: 0.1}},
+		{ExpBound{M: 1, Alpha: 0.1}, ExpBound{M: 1, Alpha: 0.37}},
+		{ExpBound{M: 3.5, Alpha: 0.22}, ExpBound{M: 1.2, Alpha: 0.05}},
+	}
+	for _, c := range corners {
+		for _, h := range []int{1, 2, 5, 20} {
+			for _, gamma := range []float64{1e-9, 1e-3, 0.5, 3, 40} {
+				check(c.through, c.cross, h, gamma)
+			}
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		through := ExpBound{M: 1 + 4*rng.Float64(), Alpha: 0.01 + rng.Float64()}
+		cross := ExpBound{M: 1 + 4*rng.Float64(), Alpha: 0.01 + rng.Float64()}
+		check(through, cross, 1+rng.Intn(30), math.Exp(8*rng.Float64()-6))
+	}
+}
+
+func TestPathPricerThroughBound(t *testing.T) {
+	through := ExpBound{M: 1.5, Alpha: 0.12}
+	p := NewPathPricer(through, ExpBound{M: 1, Alpha: 0.3}, 7)
+	for _, gamma := range []float64{1e-6, 0.2, 5} {
+		got := p.ThroughBoundAt(gamma)
+		want := ExpBound{M: through.M / (1 - math.Exp(-through.Alpha*gamma)), Alpha: through.Alpha}
+		if math.Float64bits(got.M) != math.Float64bits(want.M) || got.Alpha != want.Alpha {
+			t.Fatalf("ThroughBoundAt(%g): got %+v want %+v", gamma, got, want)
+		}
+	}
+}
+
+func TestPairPricerBitIdenticalToMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		a1 := 0.01 + rng.Float64()
+		a2 := 0.01 + rng.Float64()
+		m1 := 1 + 100*rng.Float64()
+		m2 := 1 + 100*rng.Float64()
+		p := NewPairPricer(a1, a2)
+		want, err := Merge(ExpBound{M: m1, Alpha: a1}, ExpBound{M: m2, Alpha: a2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.MergeM(m1, m2); math.Float64bits(got) != math.Float64bits(want.M) {
+			t.Fatalf("MergeM(%g,%g) a1=%g a2=%g: got %v want %v", m1, m2, a1, a2, got, want.M)
+		}
+		if got := p.Alpha(); math.Float64bits(got) != math.Float64bits(want.Alpha) {
+			t.Fatalf("Alpha() a1=%g a2=%g: got %v want %v", a1, a2, got, want.Alpha)
+		}
+	}
+}

@@ -185,10 +185,12 @@ func Convolve(f, g Curve) Curve {
 
 	pf := piecesOf(f, horizon)
 	pg := piecesOf(g, horizon)
-	var cand []piece
+	// Each pair contributes at most two pieces; one sized backing array
+	// replaces the per-pair slice returns of the quadratic loop.
+	cand := make([]piece, 0, 2*len(pf)*len(pg))
 	for _, a := range pf {
 		for _, b := range pg {
-			cand = append(cand, convolvePair(a, b)...)
+			cand = appendConvolvePair(cand, a, b)
 		}
 	}
 	segs := lowerEnvelope(cand, 0, horizon)
@@ -329,7 +331,7 @@ func (p piece) at(t float64) float64 { return p.v0 + p.slope*(t-p.a) }
 // [0, min(horizon, c.infFrom)], extending the last segment to the horizon.
 func piecesOf(c Curve, horizon float64) []piece {
 	end := math.Min(horizon, c.infFrom)
-	var out []piece
+	out := make([]piece, 0, len(c.segs))
 	for i, s := range c.segs {
 		b := end
 		if i+1 < len(c.segs) {
@@ -353,10 +355,10 @@ func piecesOf(c Curve, horizon float64) []piece {
 	return out
 }
 
-// convolvePair returns the min-plus convolution of two linear pieces as at
-// most two pieces forming the slope-sorted path from (a1+a2, v1+v2) to
-// (b1+b2, end1+end2).
-func convolvePair(p, q piece) []piece {
+// appendConvolvePair appends the min-plus convolution of two linear
+// pieces to dst: at most two pieces forming the slope-sorted path from
+// (a1+a2, v1+v2) to (b1+b2, end1+end2).
+func appendConvolvePair(dst []piece, p, q piece) []piece {
 	if p.slope > q.slope {
 		p, q = q, p
 	}
@@ -364,19 +366,19 @@ func convolvePair(p, q piece) []piece {
 	lenP := p.b - p.a
 	lenQ := q.b - q.a
 	t0 := p.a + q.a
-	var out []piece
+	n := len(dst)
 	if lenP > 0 {
-		out = append(out, piece{a: t0, b: t0 + lenP, v0: start, slope: p.slope})
+		dst = append(dst, piece{a: t0, b: t0 + lenP, v0: start, slope: p.slope})
 		start += p.slope * lenP
 		t0 += lenP
 	}
 	if lenQ > 0 {
-		out = append(out, piece{a: t0, b: t0 + lenQ, v0: start, slope: q.slope})
+		dst = append(dst, piece{a: t0, b: t0 + lenQ, v0: start, slope: q.slope})
 	}
-	if len(out) == 0 { // two degenerate points
-		out = append(out, piece{a: t0, b: t0, v0: start})
+	if len(dst) == n { // two degenerate points
+		dst = append(dst, piece{a: t0, b: t0, v0: start})
 	}
-	return out
+	return dst
 }
 
 // lowerEnvelope computes the pointwise minimum of the pieces over
@@ -387,7 +389,8 @@ func lowerEnvelope(ps []piece, lo, hi float64) []Segment {
 		return []Segment{{T0: lo, V0: minAt(ps, lo)}}
 	}
 	// Candidate breakpoints: piece endpoints and pairwise intersections.
-	ts := []float64{lo, hi}
+	ts := make([]float64, 0, 2+2*len(ps))
+	ts = append(ts, lo, hi)
 	for _, p := range ps {
 		if p.a >= lo && p.a <= hi {
 			ts = append(ts, p.a)
@@ -416,7 +419,7 @@ func lowerEnvelope(ps []piece, lo, hi float64) []Segment {
 	}
 	ts = dedupSorted(ts)
 
-	var segs []Segment
+	segs := make([]Segment, 0, len(ts))
 	for i := 0; i+1 < len(ts); i++ {
 		a, b := ts[i], ts[i+1]
 		mid := a + (b-a)/2

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"deltasched/internal/core"
+	"deltasched/internal/envelope"
+)
+
+func TestGammaProfileScenario(t *testing.T) {
+	sc, err := Get("gamma-profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{"H": 5, "points": 32, "util": 0.5}
+	res, err := sc.Evaluate(context.Background(), cfg, Point{}, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := res.Detail.(GammaProfileDetail)
+	if !ok {
+		t.Fatalf("Detail is %T, want GammaProfileDetail", res.Detail)
+	}
+	if len(det.Points) != 32 {
+		t.Fatalf("profile has %d points, want 32", len(det.Points))
+	}
+
+	// The profile must be exactly what the scalar fixed-γ API returns —
+	// the batch kernel's bit-identity contract surfaces here too.
+	pc := core.PathConfig{
+		H:       5,
+		C:       100,
+		Through: envelope.EBB{M: 1, Rho: 25, Alpha: 0.1},
+		Cross:   envelope.EBB{M: 1, Rho: 25, Alpha: 0.1},
+		Delta0c: 0,
+	}
+	for _, p := range det.Points {
+		want, err := core.DelayBoundAtGamma(pc, 1e-9, p.Gamma)
+		if err != nil {
+			t.Fatalf("scalar check at gamma=%g: %v", p.Gamma, err)
+		}
+		if math.Float64bits(p.D) != math.Float64bits(want.D) ||
+			math.Float64bits(p.Sigma) != math.Float64bits(want.Sigma) {
+			t.Fatalf("profile point at gamma=%g diverges from DelayBoundAtGamma: d=%v want %v",
+				p.Gamma, p.D, want.D)
+		}
+	}
+
+	// The landscape is a valley: the grid argmin beats the edges, and the
+	// fully optimized bound is at least as good as any grid sample.
+	if !(det.BestD < det.Points[0].D && det.BestD < det.Points[len(det.Points)-1].D) {
+		t.Errorf("grid argmin %g does not beat the profile edges (%g, %g)",
+			det.BestD, det.Points[0].D, det.Points[len(det.Points)-1].D)
+	}
+	if det.OptD > det.BestD*(1+1e-12) {
+		t.Errorf("optimized bound %g worse than grid argmin %g", det.OptD, det.BestD)
+	}
+	if res.Analytic != det.OptD {
+		t.Errorf("Analytic %g != OptD %g", res.Analytic, det.OptD)
+	}
+}
