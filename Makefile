@@ -29,14 +29,14 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Record the benchmark trajectory: run the suite and write BENCH_PR9.json
+# Record the benchmark trajectory: run the suite and write BENCH_PR10.json
 # with ns/op, B/op, allocs/op, custom metrics, and the git SHA, diffed
-# against the committed PR 8 baseline (-before). Three repetitions per
+# against the committed PR 9 baseline (-before). Three repetitions per
 # benchmark, recording the fastest — min-of-runs is the noise-robust
 # estimator on a shared box. See DESIGN.md's Performance section for
 # how to read the trajectory files.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json -before BENCH_PR8.json -count 3
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -before BENCH_PR9.json -count 3
 
 # Regression gate over the committed trajectory: fail when the newest
 # BENCH_PR*.json regressed past 15% in ns/op or allocs/op against its

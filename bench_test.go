@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"testing"
 
 	"deltasched/internal/core"
@@ -16,6 +15,7 @@ import (
 	"deltasched/internal/experiments"
 	"deltasched/internal/minplus"
 	"deltasched/internal/obs"
+	"deltasched/internal/randx"
 	"deltasched/internal/scenario"
 	"deltasched/internal/sim"
 	"deltasched/internal/traffic"
@@ -183,7 +183,24 @@ func BenchmarkEffectiveBandwidth(b *testing.B) {
 // BenchmarkSimulatorSlots measures tandem simulation throughput in
 // slots/op for the Fig. 1 topology at moderate load.
 func BenchmarkSimulatorSlots(b *testing.B) {
-	tan := benchTandem(b, false)
+	tan := benchTandem(b, false, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const slotsPerOp = 2000
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tan.Run(slotsPerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(slotsPerOp, "slots/op")
+}
+
+// BenchmarkSimulatorSlotsH30 is BenchmarkSimulatorSlots at tandem depth
+// H = 30 — the long paths of the paper's title — so per-node serve cost
+// and depth scaling of the slot loop are tracked, not just the 3-node
+// figure topology.
+func BenchmarkSimulatorSlotsH30(b *testing.B) {
+	tan := benchTandem(b, false, 30)
 	b.ReportAllocs()
 	b.ResetTimer()
 	const slotsPerOp = 2000
@@ -200,7 +217,7 @@ func BenchmarkSimulatorSlots(b *testing.B) {
 // the same topology and the same arrival law, sampled with two binomial
 // draws per aggregate per slot instead of 210 Bernoulli draws.
 func BenchmarkSimulatorSlotsCountAgg(b *testing.B) {
-	tan := benchTandem(b, true)
+	tan := benchTandem(b, true, 3)
 	b.ReportAllocs()
 	b.ResetTimer()
 	const slotsPerOp = 2000
@@ -250,12 +267,14 @@ func BenchmarkReplicatedTandem(b *testing.B) {
 }
 
 // benchTandem builds the Fig. 1 topology used by the simulator
-// benchmarks: 3 FIFO nodes, 30 through + 3×60 cross MMOO flows.
-// countAgg selects the O(1) ON-count chain over per-flow draws.
-func benchTandem(b *testing.B, countAgg bool) *sim.Tandem {
+// benchmarks: H FIFO nodes, 30 through + H×60 cross MMOO flows, on the
+// same devirtualized RNG the scenario runner uses (stream-identical to
+// the historical rand.New(rand.NewSource(9))). countAgg selects the O(1)
+// ON-count chain over per-flow draws.
+func benchTandem(b *testing.B, countAgg bool, h int) *sim.Tandem {
 	b.Helper()
 	m := envelope.PaperSource()
-	rng := rand.New(rand.NewSource(9))
+	rng := randx.NewRand(9)
 	mkAgg := func(n int) (traffic.Source, error) {
 		if countAgg {
 			return traffic.NewMMOOCountAggregate(m, n, rng)
@@ -266,7 +285,7 @@ func benchTandem(b *testing.B, countAgg bool) *sim.Tandem {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cross := make([]traffic.Source, 3)
+	cross := make([]traffic.Source, h)
 	for i := range cross {
 		cs, err := mkAgg(60)
 		if err != nil {
@@ -285,7 +304,7 @@ func benchTandem(b *testing.B, countAgg bool) *sim.Tandem {
 // the pre-observability seed, measured at < 2% (one nil check per slot;
 // see DESIGN.md's Observability section).
 func BenchmarkNetworkRunInstrumented(b *testing.B) {
-	tan := benchTandem(b, false)
+	tan := benchTandem(b, false, 3)
 	probe := &obs.SimProbe{}
 	tan.Probe = probe
 	b.ReportAllocs()
@@ -305,7 +324,7 @@ func BenchmarkNetworkRunInstrumented(b *testing.B) {
 // BenchmarkNetworkRunSampledProbe is the instrumented run at a 100-slot
 // sampling stride — the recommended setting for long production runs.
 func BenchmarkNetworkRunSampledProbe(b *testing.B) {
-	tan := benchTandem(b, false)
+	tan := benchTandem(b, false, 3)
 	tan.Probe = &obs.SimProbe{Every: 100}
 	b.ReportAllocs()
 	b.ResetTimer()

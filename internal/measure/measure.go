@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -97,24 +98,41 @@ type Distribution struct {
 // Distribution computes the delay distribution of all recorded arrivals.
 // The sample slices are sized for the recorded horizon up front: at most
 // one sample exists per slot, so nothing regrows on the per-slot path.
+//
+// Instead of one VirtualDelay binary search per slot, the scan keeps a
+// single crossing pointer x and advances it forward: both A and D are
+// non-decreasing, so the first departure slot covering A(t) is
+// non-decreasing in t, and resuming the next slot's search from
+// max(t, x) visits each departure slot once — O(n) total. The pointer
+// stops at the first index satisfying VirtualDelay's exact predicate
+// over the same index range, so every (delay, censored) outcome is
+// identical to calling VirtualDelay(t) per slot (pinned by
+// TestDistributionMatchesPerSlotVirtualDelay).
 func (r *DelayRecorder) Distribution() Distribution {
 	d := Distribution{
 		delays:  make([]int, 0, len(r.arr)),
 		weights: make([]float64, 0, len(r.arr)),
 	}
 	prev := 0.0
+	x := 0 // first departure slot with D(x) >= A(t) - 1e-9, monotone in t
 	for t := 0; t < len(r.arr); t++ {
 		bits := r.arr[t] - prev
 		prev = r.arr[t]
 		if bits <= 0 {
 			continue
 		}
-		w, ok := r.VirtualDelay(t)
-		if !ok {
+		if x < t {
+			x = t
+		}
+		target := r.arr[t]
+		for x < len(r.dep) && r.dep[x] < target-1e-9 {
+			x++
+		}
+		if x >= len(r.dep) {
 			d.censored += bits
 			continue
 		}
-		d.delays = append(d.delays, w)
+		d.delays = append(d.delays, x-t)
 		d.weights = append(d.weights, bits)
 		d.totalBits += bits
 	}
@@ -141,7 +159,14 @@ func (d Distribution) Quantile(p float64) (int, error) {
 	for i := range d.delays {
 		all[i] = dw{d.delays[i], d.weights[i]}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].delay < all[j].delay })
+	// slices.SortFunc and the sort.Slice this replaces run the same
+	// generated pdqsort, so ties land in the same order and the running
+	// weight sum below meets its addends in the same sequence — the
+	// returned quantile is bit-identical (the permutation match is
+	// pinned by TestQuantileSortPermutationMatchesSortSlice). What the
+	// switch removes is sort.Slice's reflection-based swapping, which
+	// profiles as the largest post-simulation cost on long horizons.
+	slices.SortFunc(all, func(a, b dw) int { return a.delay - b.delay })
 	cum := 0.0
 	for _, s := range all {
 		cum += s.w

@@ -3,6 +3,8 @@ package measure
 import (
 	"errors"
 	"math"
+	"slices"
+	"sort"
 	"testing"
 )
 
@@ -214,5 +216,104 @@ func TestViolationCI(t *testing.T) {
 	var empty DelayRecorder
 	if _, _, err := empty.ViolationCI(1, 2); err == nil {
 		t.Fatal("empty recorder must be rejected")
+	}
+}
+
+// TestDistributionMatchesPerSlotVirtualDelay pins the forward-scan
+// Distribution against the per-slot VirtualDelay definition it
+// replaces: for every recorded slot with fresh arrivals the scan must
+// report the identical delay (or censoring verdict). The curves mix
+// idle slots, backlog excursions, ties at the 1e-9 tolerance, and a
+// censored tail, which exercises every branch of the scan.
+func TestDistributionMatchesPerSlotVirtualDelay(t *testing.T) {
+	var r DelayRecorder
+	cumA, cumD := 0.0, 0.0
+	// Deterministic bursty pattern: arrivals surge and pause, service
+	// drains at a fixed rate, and the final slots leave residual backlog
+	// so the last arrivals are right-censored.
+	for i := 0; i < 400; i++ {
+		a := float64((i*7)%5) * 0.75 // 0, 5.25/7ths... varied incl. zero slots
+		if i%11 == 0 {
+			a += 4
+		}
+		if i >= 390 {
+			a += 10 // closing burst that cannot drain before the horizon
+		}
+		cumA += a
+		cumD += 1.5
+		if cumD > cumA {
+			cumD = cumA
+		}
+		if err := r.Record(cumA, cumD); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := r.Distribution()
+	// Rebuild the distribution with the per-slot definition.
+	var delays []int
+	var weights []float64
+	var total, censored float64
+	prev := 0.0
+	for s := 0; s < r.Slots(); s++ {
+		bits := r.arr[s] - prev
+		prev = r.arr[s]
+		if bits <= 0 {
+			continue
+		}
+		w, ok := r.VirtualDelay(s)
+		if !ok {
+			censored += bits
+			continue
+		}
+		delays = append(delays, w)
+		weights = append(weights, bits)
+		total += bits
+	}
+	if len(d.delays) != len(delays) {
+		t.Fatalf("sample count: scan %d, per-slot %d", len(d.delays), len(delays))
+	}
+	for i := range delays {
+		if d.delays[i] != delays[i] || d.weights[i] != weights[i] {
+			t.Fatalf("sample %d: scan (%d, %v), per-slot (%d, %v)",
+				i, d.delays[i], d.weights[i], delays[i], weights[i])
+		}
+	}
+	if d.totalBits != total || d.censored != censored {
+		t.Fatalf("totals: scan (%v, %v), per-slot (%v, %v)", d.totalBits, d.censored, total, censored)
+	}
+	if censored == 0 {
+		t.Fatal("test pattern no longer exercises censoring")
+	}
+}
+
+// TestQuantileSortPermutationMatchesSortSlice pins the toolchain fact
+// Quantile's bit-identity rests on: slices.SortFunc and sort.Slice run
+// the same generated pdqsort, so they produce the identical permutation
+// — including the order of tied delays, which fixes the accumulation
+// order of the running weight sum. Heavy ties with distinguishable
+// weights make any divergence visible.
+func TestQuantileSortPermutationMatchesSortSlice(t *testing.T) {
+	type dw struct {
+		delay int
+		w     float64
+	}
+	for _, n := range []int{1, 2, 17, 1000, 4096} {
+		// Deterministic pseudo-random delays drawn from a small range so
+		// every delay value carries many tied samples.
+		a := make([]dw, n)
+		state := uint64(12345)
+		for i := range a {
+			state = state*6364136223846793005 + 1442695040888963407
+			a[i] = dw{delay: int(state>>33) % 7, w: float64(i)}
+		}
+		b := append([]dw(nil), a...)
+		slices.SortFunc(a, func(x, y dw) int { return x.delay - y.delay })
+		sort.Slice(b, func(i, j int) bool { return b[i].delay < b[j].delay })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: permutations diverge at %d: slices.SortFunc %v, sort.Slice %v",
+					n, i, a[i], b[i])
+			}
+		}
 	}
 }

@@ -38,8 +38,9 @@ package measure
 // how many replications fold in.
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // SketchK is the compile-time compression parameter: compaction aims
@@ -79,6 +80,8 @@ type bufEntry struct {
 type Sketch struct {
 	tuples   []tuple
 	buf      []bufEntry
+	batch    []tuple // flush scratch: the sorted, deduplicated buffer
+	scratch  []tuple // flush scratch: merge destination, swapped with tuples
 	total    float64 // measured bits (sum of all Add weights)
 	censored float64
 	sumDB    float64 // sum of delay·bits, for the exact Mean
@@ -88,8 +91,10 @@ type Sketch struct {
 // NewSketch returns an empty sketch.
 func NewSketch() *Sketch {
 	return &Sketch{
-		tuples: make([]tuple, 0, sketchMaxTuples+sketchBufCap),
-		buf:    make([]bufEntry, 0, sketchBufCap),
+		tuples:  make([]tuple, 0, sketchMaxTuples+sketchBufCap),
+		buf:     make([]bufEntry, 0, sketchBufCap),
+		batch:   make([]tuple, 0, sketchBufCap),
+		scratch: make([]tuple, 0, sketchMaxTuples+sketchBufCap),
 	}
 }
 
@@ -112,13 +117,16 @@ func (s *Sketch) AddCensored(bits float64) { s.censored += bits }
 
 // flush drains the insertion buffer into the tuple list: combine equal
 // delays (in insertion order, so the result is deterministic), sort,
-// and fold the batch in with the same merge that pools sketches.
+// and fold the batch in with the same merge that pools sketches. The
+// batch and the merge destination live in scratch buffers reused across
+// flushes, so the steady-state Add path never touches the heap (pinned
+// by TestTandemRunAllocFloor through the streaming sink).
 func (s *Sketch) flush() {
 	if len(s.buf) == 0 {
 		return
 	}
-	sort.SliceStable(s.buf, func(i, j int) bool { return s.buf[i].v < s.buf[j].v })
-	batch := make([]tuple, 0, len(s.buf))
+	slices.SortStableFunc(s.buf, func(a, b bufEntry) int { return cmp.Compare(a.v, b.v) })
+	batch := s.batch[:0]
 	for _, e := range s.buf {
 		if n := len(batch); n > 0 && batch[n-1].v == e.v {
 			batch[n-1].g += e.bits
@@ -126,8 +134,10 @@ func (s *Sketch) flush() {
 		}
 		batch = append(batch, tuple{lo: e.v, v: e.v, g: e.bits})
 	}
+	s.batch = batch
 	s.buf = s.buf[:0]
-	s.tuples = mergeTuples(s.tuples, batch)
+	merged := mergeTuplesInto(s.scratch[:0], s.tuples, batch)
+	s.tuples, s.scratch = merged, s.tuples[:0]
 	s.compact()
 }
 
@@ -138,13 +148,18 @@ func (s *Sketch) flush() {
 // provably sits entirely above (lo > v) — its g. Swapping the
 // arguments produces bit-identical output.
 func mergeTuples(a, b []tuple) []tuple {
+	return mergeTuplesInto(make([]tuple, 0, len(a)+len(b)), a, b)
+}
+
+// mergeTuplesInto is mergeTuples with a caller-provided destination; out
+// must not alias a or b.
+func mergeTuplesInto(out, a, b []tuple) []tuple {
 	if len(a) == 0 {
-		return append([]tuple(nil), b...)
+		return append(out, b...)
 	}
 	if len(b) == 0 {
-		return append([]tuple(nil), a...)
+		return append(out, a...)
 	}
-	out := make([]tuple, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		switch {
@@ -247,6 +262,8 @@ func (s *Sketch) Clone() Summary {
 	out := &Sketch{
 		tuples:   append(make([]tuple, 0, cap(s.tuples)), s.tuples...),
 		buf:      append(make([]bufEntry, 0, sketchBufCap), s.buf...),
+		batch:    make([]tuple, 0, sketchBufCap),
+		scratch:  make([]tuple, 0, sketchMaxTuples+sketchBufCap),
 		total:    s.total,
 		censored: s.censored,
 		sumDB:    s.sumDB,

@@ -1,13 +1,12 @@
 // Package randx provides exact samplers for distributions the standard
-// library lacks, built on math/rand. The binomial sampler is the engine
+// library lacks, plus a devirtualized bit-exact clone of math/rand's
+// seeded generator (see Rand). Samplers draw through the minimal Uniform
+// interface, so they work with *math/rand.Rand and *Rand alike. The binomial sampler is the engine
 // behind the count-based MMOO aggregates in internal/traffic: one
 // Bin(n, p) draw replaces n Bernoulli draws in the simulator's slot loop.
 package randx
 
-import (
-	"math"
-	"math/rand"
-)
+import "math"
 
 // invThreshold is the n·p value above which Binomial switches from
 // sequential inversion (expected O(n·p) iterations) to the BTPE-style
@@ -25,7 +24,7 @@ const invThreshold = 10
 // transformed-rejection algorithm — the compact descendant of BTPE — when
 // the mean is large. Both operate on p <= 1/2 and reflect otherwise, so
 // the expected work is bounded by min(p, 1−p)·n.
-func Binomial(rng *rand.Rand, n int, p float64) int {
+func Binomial(rng Uniform, n int, p float64) int {
 	if n < 0 {
 		panic("randx: Binomial needs n >= 0")
 	}
@@ -53,7 +52,7 @@ func Binomial(rng *rand.Rand, n int, p float64) int {
 // f(k+1) = f(k) · (n−k)/(k+1) · p/(1−p). With n·p < invThreshold the
 // starting mass (1−p)^n cannot underflow (n·log1p(−p) > −invThreshold/(1−p)
 // > −20 for p <= 1/2), so the walk is exact.
-func binomialInversion(rng *rand.Rand, n int, p float64) int {
+func binomialInversion(rng Uniform, n int, p float64) int {
 	odds := p / (1 - p)
 	f := math.Exp(float64(n) * math.Log1p(-p)) // (1-p)^n without pow-rounding
 	u := rng.Float64()
@@ -84,7 +83,12 @@ type BinomialSampler struct {
 	pc   float64   // min(p, 1−p): the probability the walk actually uses
 	odds float64   // pc/(1−pc) for the pmf recurrence
 	f0   []float64 // f0[m] = (1−pc)^m, the inversion start for Bin(m, pc)
-	refl bool      // p > 0.5: sample Bin(n, 1−p) and reflect
+	// rat[m][k] = (m−k)/(k+1) · odds, the pmf recurrence factor, for
+	// k < m — precomputed with the exact expression of the walk so the
+	// hot loop is one load and one multiply per step instead of two
+	// int-to-float conversions, a division and two multiplies.
+	rat  [][]float64
+	refl bool // p > 0.5: sample Bin(n, 1−p) and reflect
 }
 
 // NewBinomialSampler prepares a sampler for Bin(n, p) draws with
@@ -103,10 +107,23 @@ func NewBinomialSampler(maxN int, p float64) *BinomialSampler {
 	if s.pc > 0 {
 		s.odds = s.pc / (1 - s.pc)
 		s.f0 = make([]float64, maxN+1)
+		s.rat = make([][]float64, maxN+1)
+		// All rows share one backing array (row m has length m, so the
+		// total is maxN(maxN+1)/2): three allocations per sampler instead
+		// of one per row, which matters to callers that build fresh
+		// samplers per replication.
+		flat := make([]float64, maxN*(maxN+1)/2)
 		for m := 0; m <= maxN; m++ {
-			// Same expression as binomialInversion, so the table entry is
-			// bit-identical to the value Binomial would compute for n = m.
+			// Same expressions as binomialInversion, so the table entries
+			// are bit-identical to the values Binomial would compute for
+			// n = m.
 			s.f0[m] = math.Exp(float64(m) * math.Log1p(-s.pc))
+			row := flat[:m:m]
+			flat = flat[m:]
+			for k := 0; k < m; k++ {
+				row[k] = float64(m-k) / float64(k+1) * s.odds
+			}
+			s.rat[m] = row
 		}
 	}
 	return s
@@ -115,7 +132,7 @@ func NewBinomialSampler(maxN int, p float64) *BinomialSampler {
 // Sample draws Bin(n, p). It panics if n is negative or exceeds the
 // sampler's maxN. The draw consumes the RNG exactly like
 // Binomial(rng, n, p).
-func (s *BinomialSampler) Sample(rng *rand.Rand, n int) int {
+func (s *BinomialSampler) Sample(rng Uniform, n int) int {
 	if n < 0 {
 		panic("randx: Sample needs n >= 0")
 	}
@@ -128,15 +145,53 @@ func (s *BinomialSampler) Sample(rng *rand.Rand, n int) int {
 	nf := float64(n)
 	var k int
 	if nf*s.pc < invThreshold {
-		// binomialInversion with the precomputed starting mass.
+		// binomialInversion with the precomputed starting mass and
+		// recurrence factors.
 		f := s.f0[n]
+		rat := s.rat[n]
 		u := rng.Float64()
 		for k = 0; ; k++ {
 			if u < f || k == n {
 				break
 			}
 			u -= f
-			f *= float64(n-k) / float64(k+1) * s.odds
+			f *= rat[k]
+		}
+	} else {
+		k = binomialBTRS(rng, nf, s.pc)
+	}
+	if s.refl {
+		return n - k
+	}
+	return k
+}
+
+// SampleFast is Sample devirtualized for the concrete generator: the
+// same statement sequence with rng's Float64 call inlinable, so the
+// draw is bit-identical to Sample(rng, n) (pinned by the sampler
+// identity tests, which run every draw through both entry points).
+func (s *BinomialSampler) SampleFast(rng *Rand, n int) int {
+	if n < 0 {
+		panic("randx: Sample needs n >= 0")
+	}
+	switch {
+	case n == 0 || s.p == 0:
+		return 0
+	case s.p == 1:
+		return n
+	}
+	nf := float64(n)
+	var k int
+	if nf*s.pc < invThreshold {
+		f := s.f0[n]
+		rat := s.rat[n]
+		u := rng.Float64()
+		for k = 0; ; k++ {
+			if u < f || k == n {
+				break
+			}
+			u -= f
+			f *= rat[k]
 		}
 	} else {
 		k = binomialBTRS(rng, nf, s.pc)
@@ -151,7 +206,7 @@ func (s *BinomialSampler) Sample(rng *rand.Rand, n int) int {
 // the "BTPE-style" accept–reject method: a table-mountain hat over the
 // binomial histogram with a cheap squeeze, requiring p <= 1/2 and
 // n·p >= invThreshold. Expected iterations are ~1.15 independent of n.
-func binomialBTRS(rng *rand.Rand, n, p float64) int {
+func binomialBTRS(rng Uniform, n, p float64) int {
 	spq := math.Sqrt(n * p * (1 - p))
 	b := 1.15 + 2.53*spq
 	a := -0.0873 + 0.0248*b + 0.01*p

@@ -201,6 +201,37 @@ func TestSamplerMatchesBinomial(t *testing.T) {
 	}
 }
 
+// TestSampleFastMatchesSample pins the devirtualized entry point: from
+// identical RNG states, SampleFast on the concrete *Rand must return the
+// variate Sample returns through the Uniform interface, across both
+// regimes and the reflection.
+func TestSampleFastMatchesSample(t *testing.T) {
+	for _, p := range []float64{0, 0.011, 0.1, 0.5, 0.9, 0.989, 1} {
+		const maxN = 80
+		s := NewBinomialSampler(maxN, p)
+		rngA := NewRand(7)
+		rngB := NewRand(7)
+		for rep := 0; rep < 50; rep++ {
+			for n := 0; n <= maxN; n++ {
+				want := s.Sample(rngA, n)
+				got := s.SampleFast(rngB, n)
+				if got != want {
+					t.Fatalf("p=%g n=%d rep=%d: SampleFast drew %d, Sample drew %d", p, n, rep, got, want)
+				}
+			}
+		}
+	}
+	// Large-mean draws route through BTRS on both sides.
+	s := NewBinomialSampler(5000, 0.3)
+	rngA := NewRand(8)
+	rngB := NewRand(8)
+	for rep := 0; rep < 200; rep++ {
+		if want, got := s.Sample(rngA, 5000), s.SampleFast(rngB, 5000); got != want {
+			t.Fatalf("BTRS regime rep %d: SampleFast drew %d, Sample drew %d", rep, got, want)
+		}
+	}
+}
+
 func TestSamplerValidation(t *testing.T) {
 	mustPanic := func(name string, f func()) {
 		defer func() {

@@ -139,7 +139,7 @@ func (tandemScenario) Evaluate(ctx context.Context, cfg Config, _ Point, be Back
 		}
 		inner := mkSched
 		mkSched = func(node int) sim.Scheduler {
-			p, ok := inner(node).(*sim.Precedence)
+			p, ok := inner(node).(sim.HeadQueue)
 			if !ok {
 				return inner(node)
 			}

@@ -112,7 +112,20 @@ func (n *Network) Run(slots int) ([]*measure.DelayRecorder, error) {
 		progressEvery = 1000
 	}
 
-	out := make(map[core.FlowID]float64, len(n.Flows))
+	// Dense serve path where the scheduler supports it: flow ids index
+	// Flows, so one slice spans them all. Forwarding then walks flows in
+	// id order instead of map order — serve order downstream is unchanged
+	// (a node enqueues each flow at most once per slot, and the chunk
+	// order (k1, k2, flow, seq) never reaches the seq tie-breaker for
+	// distinct flows), but runs are now deterministic even under probes.
+	slicers := make([]SliceServer, len(nodes))
+	for i, nd := range nodes {
+		if ss, ok := nd.(SliceServer); ok {
+			slicers[i] = ss
+		}
+	}
+	out := make([]float64, len(n.Flows))
+	outMap := make(map[core.FlowID]float64, len(n.Flows))
 	for slot := 0; slot < slots; slot++ {
 		probing := n.Probe != nil && n.Probe.Sample(slot)
 		// External arrivals at each flow's ingress.
@@ -123,20 +136,31 @@ func (n *Network) Run(slots int) ([]*measure.DelayRecorder, error) {
 		}
 		// Serve nodes in feed-forward order; forward within the slot.
 		for node := 0; node < len(nodes); node++ {
-			for k := range out {
-				delete(out, k)
+			if ss := slicers[node]; ss != nil {
+				for i := range out {
+					out[i] = 0
+				}
+				ss.ServeInto(n.Capacities[node], out)
+			} else {
+				clear(outMap)
+				nodes[node].Serve(n.Capacities[node], outMap)
+				for i := range out {
+					out[i] = outMap[core.FlowID(i)]
+				}
 			}
-			nodes[node].Serve(n.Capacities[node], out)
 			if probing {
-				observeNode(n.Probe, nodes[node], node, slot, sumServed(out), n.Capacities[node])
+				total := 0.0
+				for _, b := range out {
+					total += b
+				}
+				observeNode(n.Probe, nodes[node], node, slot, total, n.Capacities[node])
 			}
-			for fid, bits := range out {
+			for fi, bits := range out {
 				if bits <= 0 {
 					continue
 				}
-				fi := int(fid)
 				if nh := nextHop[fi][node]; nh >= 0 {
-					nodes[nh].Enqueue(fid, slot, bits)
+					nodes[nh].Enqueue(core.FlowID(fi), slot, bits)
 				} else {
 					cumD[fi] += bits
 				}

@@ -17,7 +17,7 @@ import (
 // transmission time per node plus the packetization quantum, which the
 // tests verify.
 type NonPreemptive struct {
-	inner      *Precedence
+	inner      HeadQueue
 	packetSize float64
 
 	// residual transmission state: the packet currently on the wire.
@@ -27,8 +27,9 @@ type NonPreemptive struct {
 
 var _ Scheduler = (*NonPreemptive)(nil)
 
-// NewNonPreemptive wraps the given precedence scheduler.
-func NewNonPreemptive(inner *Precedence, packetSize float64) (*NonPreemptive, error) {
+// NewNonPreemptive wraps the given precedence scheduler (any HeadQueue:
+// the heap-backed *Precedence disciplines or the *FIFO ring).
+func NewNonPreemptive(inner HeadQueue, packetSize float64) (*NonPreemptive, error) {
 	if inner == nil {
 		return nil, fmt.Errorf("sim: NonPreemptive needs an inner scheduler")
 	}
@@ -59,24 +60,24 @@ func (n *NonPreemptive) Serve(budget float64, out map[core.FlowID]float64) {
 			budget -= take
 			continue
 		}
-		if n.inner.q.Len() == 0 {
+		c := n.inner.headChunk()
+		if c == nil {
 			return
 		}
 		// Commit the head-of-line chunk's next packet, non-preemptively.
-		c := &n.inner.q[0]
 		flow := c.flow
 		pkt := math.Min(n.packetSize, c.bits)
 		c.bits -= pkt
-		n.inner.backlog -= pkt
+		n.inner.addBacklog(-pkt)
 		if c.bits <= 1e-12 {
-			n.inner.backlog += c.bits
-			n.inner.q.popMin()
+			n.inner.addBacklog(c.bits)
+			n.inner.popHead()
 		}
 		n.residFlow = flow
 		n.residBits = pkt
 	}
-	if n.inner.backlog < 0 {
-		n.inner.backlog = 0
+	if bl := n.inner.Backlog(); bl < 0 {
+		n.inner.addBacklog(-bl)
 	}
 }
 

@@ -1,7 +1,5 @@
 package sim
 
-import "deltasched/internal/core"
-
 // Probe observes per-node scheduler state while a simulation runs. It is
 // the simulator-side contract of the observability layer: internal/obs
 // provides a concrete collector (obs.SimProbe) that satisfies it
@@ -37,13 +35,4 @@ func observeNode(p Probe, sched Scheduler, node, slot int, served, capacity floa
 		ql = q.QueueLen()
 	}
 	p.ObserveNode(node, slot, served, capacity, sched.Backlog(), ql)
-}
-
-// sumServed totals a slot's per-flow departures at one node.
-func sumServed(out map[core.FlowID]float64) float64 {
-	total := 0.0
-	for _, b := range out {
-		total += b
-	}
-	return total
 }

@@ -33,6 +33,31 @@ type Scheduler interface {
 	Backlog() float64
 }
 
+// SliceServer is the dense-output serve path of the slot loop: ServeInto
+// is Serve with out[f] accumulating flow f's served bits, for flow ids
+// indexing into out. The serve order and the float operations are
+// identical to Serve — the two paths produce bit-identical simulations
+// (pinned by the tandem parity tests) — but the slice path avoids the
+// per-slot map clear and hashing, which dominated the serve cost of
+// Tandem.Run's inner loop. Callers must size out past every flow id the
+// scheduler has been asked to enqueue (tandem nodes have exactly two).
+type SliceServer interface {
+	Scheduler
+	ServeInto(budget float64, out []float64)
+}
+
+// HeadQueue is the contract NonPreemptive needs from its inner
+// discipline: mutable access to the precedence-ordered head-of-line
+// chunk. Both precedence implementations — the generic heap (*Precedence)
+// and the FIFO ring (*FIFO) — provide it.
+type HeadQueue interface {
+	Scheduler
+	QueueLen() int
+	headChunk() *chunk // precedence-minimal queued chunk; nil when empty
+	popHead()          // drop the head chunk (after its bits reached zero)
+	addBacklog(d float64)
+}
+
 // chunk is a fluid batch awaiting service.
 type chunk struct {
 	k1, k2 float64 // precedence keys, lexicographic, smaller first
@@ -51,18 +76,26 @@ type chunk struct {
 // version.
 type chunkHeap []chunk
 
+// chunkLess is the strict total order (k1, k2, flow, seq) shared by the
+// heap and the FIFO ring: seq values are unique per scheduler, so any two
+// distinct chunks compare strictly — which is exactly why a sorted ring
+// and a binary heap dequeue in the same order.
+func chunkLess(a, b *chunk) bool {
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	if a.k2 != b.k2 {
+		return a.k2 < b.k2
+	}
+	if a.flow != b.flow {
+		return a.flow < b.flow
+	}
+	return a.seq < b.seq
+}
+
 func (h chunkHeap) Len() int { return len(h) }
 func (h chunkHeap) less(i, j int) bool {
-	if h[i].k1 != h[j].k1 {
-		return h[i].k1 < h[j].k1
-	}
-	if h[i].k2 != h[j].k2 {
-		return h[i].k2 < h[j].k2
-	}
-	if h[i].flow != h[j].flow {
-		return h[i].flow < h[j].flow
-	}
-	return h[i].seq < h[j].seq
+	return chunkLess(&h[i], &h[j])
 }
 
 // push inserts a chunk and sifts it up (container/heap.Push without the
@@ -120,9 +153,10 @@ type Precedence struct {
 
 var _ Scheduler = (*Precedence)(nil)
 
-// NewFIFO serves strictly in arrival order; simultaneous arrivals are
-// ordered by flow id.
-func NewFIFO() *Precedence {
+// newHeapFIFO is the generic-heap FIFO — the pre-ring implementation,
+// kept constructible so the parity tests can pin the ring against it.
+// Production callers get the ring via NewFIFO.
+func newHeapFIFO() *Precedence {
 	return &Precedence{
 		name:  "FIFO",
 		keyOf: func(_ core.FlowID, slot int) (float64, float64) { return float64(slot), 0 },
@@ -207,11 +241,46 @@ func (p *Precedence) Serve(budget float64, out map[core.FlowID]float64) {
 	}
 }
 
+// ServeInto implements SliceServer: the Serve loop with a dense output
+// slice. The float operation sequence is identical, so the served amounts
+// and the residual backlog match Serve bit for bit.
+func (p *Precedence) ServeInto(budget float64, out []float64) {
+	for budget > 1e-12 && p.q.Len() > 0 {
+		c := &p.q[0]
+		take := math.Min(budget, c.bits)
+		out[c.flow] += take
+		c.bits -= take
+		p.backlog -= take
+		budget -= take
+		if c.bits <= 1e-12 {
+			p.backlog += c.bits // absorb the fp residue
+			p.q.popMin()
+		}
+	}
+	if p.backlog < 0 {
+		p.backlog = 0
+	}
+}
+
 // Backlog implements Scheduler.
 func (p *Precedence) Backlog() float64 { return p.backlog }
 
 // QueueLen implements QueueLener: the number of queued chunks.
 func (p *Precedence) QueueLen() int { return p.q.Len() }
+
+// headChunk implements HeadQueue.
+func (p *Precedence) headChunk() *chunk {
+	if p.q.Len() == 0 {
+		return nil
+	}
+	return &p.q[0]
+}
+
+// popHead implements HeadQueue.
+func (p *Precedence) popHead() { p.q.popMin() }
+
+// addBacklog implements HeadQueue.
+func (p *Precedence) addBacklog(d float64) { p.backlog += d }
 
 // GPS is generalized processor sharing: backlogged flows are served
 // simultaneously in proportion to their weights (fluid water-filling each
@@ -327,6 +396,41 @@ func (g *GPS) drain(f core.FlowID, amount float64) {
 		}
 	}
 	g.queues[f] = keep
+}
+
+// ServeInto implements SliceServer: Serve's water-filling with a dense
+// output slice, bit-identical per-flow amounts.
+func (g *GPS) ServeInto(budget float64, out []float64) {
+	for budget > 1e-12 {
+		totalW := 0.0
+		for _, f := range g.order {
+			if g.flowBacklog(f) > 0 {
+				totalW += g.weight[f]
+			}
+		}
+		if totalW == 0 {
+			break
+		}
+		spent := 0.0
+		for _, f := range g.order {
+			bl := g.flowBacklog(f)
+			if bl <= 0 {
+				continue
+			}
+			share := budget * g.weight[f] / totalW
+			take := math.Min(share, bl)
+			g.drain(f, take)
+			out[f] += take
+			spent += take
+		}
+		if spent <= 1e-12 {
+			break
+		}
+		budget -= spent
+	}
+	if g.backlog < 0 {
+		g.backlog = 0
+	}
 }
 
 // Backlog implements Scheduler.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 
 	"deltasched/internal/core"
 	"deltasched/internal/measure"
@@ -68,8 +69,23 @@ type Tandem struct {
 	// means run to completion.
 	Ctx context.Context
 
+	// IndependentSources declares that Through and every Cross source
+	// draw from disjoint RNG streams (or are deterministic). The block
+	// loop may then drain each source a whole block at a time via
+	// traffic.BlockSource, instead of the default slot-major interleave
+	// that preserves the draw order of sources sharing one RNG. Setting
+	// this on sources that do share an RNG changes the sample path.
+	IndependentSources bool
+
 	nodes   []Scheduler
 	perNode []*measure.DelayRecorder
+
+	// Block-engine scratch reused across Runs of the same shape, so a
+	// replicated sweep pays the buffer allocations once, not per Run.
+	blkFloat []float64     // caps + through block + cross blocks backing
+	blkBool  []bool        // hasCross
+	blkSlice []SliceServer // per-node serve-path devirtualization
+	blkFIFO  []*FIFO       // per-node ring devirtualization
 }
 
 // PerNode returns the per-node through-flow delay recorders of the last
@@ -141,12 +157,8 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	}
 
 	var (
-		rec   *measure.DelayRecorder
-		sink  measure.SlotSink
-		stats Stats
-		cumA  float64
-		cumD  float64
-		out   = make(map[core.FlowID]float64, 2)
+		rec  *measure.DelayRecorder
+		sink measure.SlotSink
 	)
 	if t.Sink != nil {
 		sink = t.Sink
@@ -154,74 +166,110 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 		rec = measure.NewDelayRecorder(slots)
 		sink = rec
 	}
-	for slot := 0; slot < slots; slot++ {
-		probing := t.Probe != nil && t.Probe.Sample(slot)
-		// External arrivals.
-		a := t.Through.Next()
-		cumA += a
-		stats.ThroughArrived += a
-		t.nodes[0].Enqueue(ThroughFlow, slot, a)
-		if t.RecordPerNode {
-			nodeA[0] += a
+
+	// The slot loop runs in blocks: a fill pass drains the sources into
+	// per-node arrival buffers, then a serve pass replays the buffered
+	// slots through the schedulers. The serve pass is slot-major, so every
+	// accumulator (cumulative curves, stats, backlog) sees the exact float
+	// addition order of the old per-slot loop regardless of how the
+	// buffers were filled — which is what keeps the goldens byte-stable.
+	bs := blockSlots
+	if slots < bs {
+		bs = slots
+	}
+	if bs < 0 {
+		bs = 0
+	}
+	if need := h + bs + h*bs; cap(t.blkFloat) < need {
+		t.blkFloat = make([]float64, need)
+	}
+	if cap(t.blkBool) < h {
+		t.blkBool = make([]bool, h)
+	}
+	if cap(t.blkSlice) < h {
+		t.blkSlice = make([]SliceServer, h)
+	}
+	if cap(t.blkFIFO) < h {
+		t.blkFIFO = make([]*FIFO, h)
+	}
+	fb := t.blkFloat[:h+bs+h*bs]
+	st := &tandemState{
+		t:        t,
+		nodes:    t.nodes,
+		shapers:  shapers,
+		caps:     fb[:h:h],
+		hasCross: t.blkBool[:h:h],
+		slice:    t.blkSlice[:h:h],
+		fifos:    t.blkFIFO[:h:h],
+		bs:       bs,
+		thr:      fb[h : h+bs : h+bs],
+		cross:    fb[h+bs:],
+		sink:     sink,
+		nodeA:    nodeA,
+		nodeD:    nodeD,
+	}
+	// Hoist the per-slot branches of the old loop: capacity selection,
+	// cross-source presence, serve-path and sink devirtualization.
+	allFIFO := true
+	for i, n := range t.nodes {
+		st.caps[i] = t.C
+		if len(t.Cs) > 0 {
+			st.caps[i] = t.Cs[i]
 		}
-		for i, cs := range t.Cross {
-			if cs == nil {
-				continue
-			}
-			x := cs.Next()
-			stats.CrossArrived += x
-			t.nodes[i].Enqueue(CrossFlow, slot, x)
+		st.hasCross[i] = t.Cross[i] != nil
+		// Assign unconditionally: the backing arrays are reused across
+		// Runs and may hold a previous run's entries.
+		ss, _ := n.(SliceServer)
+		st.slice[i] = ss
+		f, ok := n.(*FIFO)
+		st.fifos[i] = f
+		if !ok {
+			allFIFO = false
 		}
-		// Serve nodes in path order; through departures cascade within the
-		// slot. The output map is reused across nodes and slots; clear
-		// resets it without reallocating.
-		for i := 0; i < h; i++ {
-			clear(out)
-			capa := t.C
-			if len(t.Cs) > 0 {
-				capa = t.Cs[i]
-			}
-			t.nodes[i].Serve(capa, out)
-			if probing {
-				observeNode(t.Probe, t.nodes[i], i, slot, sumServed(out), capa)
-			}
-			fwd := out[ThroughFlow]
-			if t.RecordPerNode {
-				nodeD[i] += fwd
-			}
-			if i+1 < h {
-				if shapers != nil && shapers[i] != nil {
-					fwd = shapers[i].Step(fwd)
-				}
-				t.nodes[i+1].Enqueue(ThroughFlow, slot, fwd)
-				if t.RecordPerNode {
-					nodeA[i+1] += fwd
-				}
-			} else {
-				cumD += fwd
-				stats.ThroughLeft += fwd
-			}
-			if b := t.nodes[i].Backlog(); b > stats.MaxBacklog {
-				stats.MaxBacklog = b
-			}
+	}
+	switch s := sink.(type) {
+	case *measure.DelayRecorder:
+		st.rec = s
+	case *measure.StreamRecorder:
+		st.stream = s
+	}
+	// The all-concrete fast pass needs every node to be the FIFO ring and
+	// no per-slot instrumentation; anything else takes the generic pass
+	// (same numbers, more dispatch).
+	if !allFIFO || t.Probe != nil || t.RecordPerNode {
+		st.fifos = nil
+		st.outMap = make(map[core.FlowID]float64, 2)
+	}
+
+	done := 0
+	for done < slots {
+		nb := bs
+		if rem := slots - done; nb > rem {
+			nb = rem
 		}
-		if err := sink.Record(cumA, cumD); err != nil {
+		// End blocks exactly at progress checkpoints so Progress and Ctx
+		// fire at the same slot counts as the per-slot loop did.
+		if next := progressEvery - done%progressEvery; nb > next {
+			nb = next
+		}
+		st.fill(nb)
+		var err error
+		if st.fifos != nil {
+			err = st.serveFIFO(done, nb)
+		} else {
+			err = st.serveGeneric(done, nb)
+		}
+		if err != nil {
 			return nil, Stats{}, err
 		}
-		if t.RecordPerNode {
-			for i := 0; i < h; i++ {
-				if err := t.perNode[i].Record(nodeA[i], nodeD[i]); err != nil {
-					return nil, Stats{}, fmt.Errorf("node %d: %w", i, err)
-				}
-			}
-		}
-		if (slot+1)%progressEvery == 0 {
+		done += nb
+		if done%progressEvery == 0 {
 			if t.Progress != nil {
-				t.Progress(slot+1, slots)
+				t.Progress(done, slots)
 			}
 			if t.Ctx != nil {
 				if err := t.Ctx.Err(); err != nil {
-					return nil, Stats{}, fmt.Errorf("sim: run stopped after %d/%d slots: %w", slot+1, slots, err)
+					return nil, Stats{}, fmt.Errorf("sim: run stopped after %d/%d slots: %w", done, slots, err)
 				}
 			}
 		}
@@ -229,7 +277,207 @@ func (t *Tandem) Run(slots int) (*measure.DelayRecorder, Stats, error) {
 	if t.Progress != nil && slots%progressEvery != 0 {
 		t.Progress(slots, slots)
 	}
-	return rec, stats, nil
+	return rec, st.stats, nil
+}
+
+// blockSlots is the fill granularity of the batched slot loop: large
+// enough to amortize the per-block bookkeeping, small enough that the
+// arrival buffers stay cache-resident (a 3-node tandem buffers 32 KiB).
+const blockSlots = 1024
+
+// tandemState bundles the hot state of Tandem.Run so the fill and serve
+// passes share it without re-deriving per-slot invariants.
+type tandemState struct {
+	t        *Tandem
+	nodes    []Scheduler
+	slice    []SliceServer // per node; nil entry → map-based Serve fallback
+	fifos    []*FIFO       // non-nil only when the all-FIFO fast pass applies
+	caps     []float64     // resolved per-node capacities
+	hasCross []bool
+	shapers  []*Shaper
+
+	bs    int       // row stride of cross (= max block size)
+	thr   []float64 // through arrivals for the current block
+	cross []float64 // h rows × bs: per-node cross arrivals
+
+	out    [2]float64 // dense serve scratch (tandem nodes have two flows)
+	outMap map[core.FlowID]float64
+
+	sink   measure.SlotSink
+	rec    *measure.DelayRecorder  // devirtualized sink (exact backend)
+	stream *measure.StreamRecorder // devirtualized sink (streaming backend)
+
+	stats      Stats
+	cumA, cumD float64
+	nodeA      []float64
+	nodeD      []float64
+}
+
+// fill drains the sources for the next nb slots into the block buffers.
+func (st *tandemState) fill(nb int) {
+	t := st.t
+	if t.IndependentSources {
+		traffic.FillBlock(t.Through, st.thr[:nb])
+		for i, cs := range t.Cross {
+			if cs != nil {
+				row := st.cross[i*st.bs:]
+				traffic.FillBlock(cs, row[:nb])
+			}
+		}
+		return
+	}
+	// Slot-major: the through and cross aggregates share one RNG in the
+	// default wiring, so their draws must interleave per slot in exactly
+	// the order of the old loop (through first, then cross in node order).
+	thr, cross, bs := st.thr, st.cross, st.bs
+	for j := 0; j < nb; j++ {
+		thr[j] = t.Through.Next()
+		for i, cs := range t.Cross {
+			if cs != nil {
+				cross[i*bs+j] = cs.Next()
+			}
+		}
+	}
+}
+
+// record forwards one slot's cumulative curves to the measurement sink
+// through the devirtualized pointer when one applies.
+func (st *tandemState) record() error {
+	if st.rec != nil {
+		return st.rec.Record(st.cumA, st.cumD)
+	}
+	if st.stream != nil {
+		return st.stream.Record(st.cumA, st.cumD)
+	}
+	return st.sink.Record(st.cumA, st.cumD)
+}
+
+// serveFIFO is the all-concrete serve pass: every node is the FIFO ring,
+// no probe, no per-node recording. No interface dispatch, no map access,
+// and MaxBacklog reads the ring's backlog field directly (same float the
+// Backlog() call returned). Each node's slot is one fused serveSlot call
+// — the arrival-pass Enqueues collapse into it (see serveSlot for the
+// bit-identity argument), with the cross-arrival stats accumulated up
+// front in node order exactly as the old arrivals pass did.
+func (st *tandemState) serveFIFO(base, nb int) error {
+	fifos := st.fifos
+	h := len(fifos)
+	caps, shapers, cross, bs := st.caps, st.shapers, st.cross, st.bs
+	stats := &st.stats
+	out := st.out[:]
+	for j := 0; j < nb; j++ {
+		slot := base + j
+		a := st.thr[j]
+		st.cumA += a
+		stats.ThroughArrived += a
+		for i := 0; i < h; i++ {
+			if st.hasCross[i] {
+				stats.CrossArrived += cross[i*bs+j]
+			}
+		}
+		thr := a
+		for i := 0; i < h; i++ {
+			var x float64
+			if st.hasCross[i] {
+				x = cross[i*bs+j]
+			}
+			out[0], out[1] = 0, 0
+			n := fifos[i]
+			n.serveSlot(caps[i], slot, thr, x, i == 0, out)
+			fwd := out[0]
+			if i+1 < h {
+				if shapers != nil && shapers[i] != nil {
+					fwd = shapers[i].Step(fwd)
+				}
+				thr = fwd
+			} else {
+				st.cumD += fwd
+				stats.ThroughLeft += fwd
+			}
+			if n.backlog > stats.MaxBacklog {
+				stats.MaxBacklog = n.backlog
+			}
+		}
+		if err := st.record(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveGeneric is the serve pass for any scheduler mix, probes, and
+// per-node recording: the old loop body verbatim, reading arrivals from
+// the block buffers, with the slice serve path where available.
+func (st *tandemState) serveGeneric(base, nb int) error {
+	t := st.t
+	nodes := st.nodes
+	h := len(nodes)
+	for j := 0; j < nb; j++ {
+		slot := base + j
+		probing := t.Probe != nil && t.Probe.Sample(slot)
+		a := st.thr[j]
+		st.cumA += a
+		st.stats.ThroughArrived += a
+		nodes[0].Enqueue(ThroughFlow, slot, a)
+		if t.RecordPerNode {
+			st.nodeA[0] += a
+		}
+		for i := 0; i < h; i++ {
+			if st.hasCross[i] {
+				x := st.cross[i*st.bs+j]
+				st.stats.CrossArrived += x
+				nodes[i].Enqueue(CrossFlow, slot, x)
+			}
+		}
+		// Serve nodes in path order; through departures cascade within
+		// the slot.
+		for i := 0; i < h; i++ {
+			capa := st.caps[i]
+			var s0, s1 float64
+			if ss := st.slice[i]; ss != nil {
+				st.out[0], st.out[1] = 0, 0
+				ss.ServeInto(capa, st.out[:])
+				s0, s1 = st.out[0], st.out[1]
+			} else {
+				clear(st.outMap)
+				nodes[i].Serve(capa, st.outMap)
+				s0, s1 = st.outMap[ThroughFlow], st.outMap[CrossFlow]
+			}
+			if probing {
+				observeNode(t.Probe, nodes[i], i, slot, s0+s1, capa)
+			}
+			fwd := s0
+			if t.RecordPerNode {
+				st.nodeD[i] += fwd
+			}
+			if i+1 < h {
+				if st.shapers != nil && st.shapers[i] != nil {
+					fwd = st.shapers[i].Step(fwd)
+				}
+				nodes[i+1].Enqueue(ThroughFlow, slot, fwd)
+				if t.RecordPerNode {
+					st.nodeA[i+1] += fwd
+				}
+			} else {
+				st.cumD += fwd
+				st.stats.ThroughLeft += fwd
+			}
+			if b := nodes[i].Backlog(); b > st.stats.MaxBacklog {
+				st.stats.MaxBacklog = b
+			}
+		}
+		if err := st.record(); err != nil {
+			return err
+		}
+		if t.RecordPerNode {
+			for i := 0; i < h; i++ {
+				if err := t.perNode[i].Record(st.nodeA[i], st.nodeD[i]); err != nil {
+					return fmt.Errorf("node %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // SingleNode simulates one buffered link shared by an arbitrary set of
@@ -258,13 +506,7 @@ func (n *SingleNode) Run(slots int) (map[core.FlowID]*measure.DelayRecorder, err
 		flows = append(flows, f)
 	}
 	// Deterministic iteration order for reproducibility.
-	for i := 0; i < len(flows); i++ {
-		for j := i + 1; j < len(flows); j++ {
-			if flows[j] < flows[i] {
-				flows[i], flows[j] = flows[j], flows[i]
-			}
-		}
-	}
+	slices.Sort(flows)
 
 	out := make(map[core.FlowID]float64, len(n.Sources))
 	for slot := 0; slot < slots; slot++ {

@@ -10,12 +10,16 @@ package traffic
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"deltasched/internal/envelope"
 	"deltasched/internal/minplus"
 	"deltasched/internal/randx"
 )
+
+// inv63 is the exact power-of-two reciprocal 2⁻⁶³ used by the
+// hand-inlined uniform draw in nextBank — the same scaling constant
+// randx.(*Rand).Float64 multiplies by.
+const inv63 = 1.0 / (1 << 63)
 
 // Source generates per-slot arrivals.
 type Source interface {
@@ -24,33 +28,70 @@ type Source interface {
 	Next() float64
 }
 
+// BlockSource is the batch seam of the simulator's slot loop: NextBlock
+// fills dst with the next len(dst) slots' arrivals, producing exactly the
+// values — and consuming any underlying randomness in exactly the order —
+// that len(dst) successive Next calls would. The contract is bit-identity,
+// not merely equality in distribution, because seeded sample paths are
+// pinned by golden fixtures.
+//
+// Callers must not assume more than that: when several sources share one
+// RNG (the simulator's default wiring), draining a whole block from one
+// source before the next reorders the shared stream, so such callers must
+// interleave per-slot (see sim.Tandem's IndependentSources flag).
+type BlockSource interface {
+	Source
+	// NextBlock is equivalent to: for i := range dst { dst[i] = s.Next() }.
+	NextBlock(dst []float64)
+}
+
+// FillBlock drains len(dst) slots from src, using NextBlock when
+// implemented and falling back to per-slot Next calls otherwise.
+func FillBlock(src Source, dst []float64) {
+	if bs, ok := src.(BlockSource); ok {
+		bs.NextBlock(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = src.Next()
+	}
+}
+
 // MMOO is a two-state Markov-modulated on-off source (paper Section V).
 // The initial state is drawn from the stationary distribution so that
 // finite simulations match the analysis without a warm-up phase.
 type MMOO struct {
 	model envelope.MMOO
-	rng   *rand.Rand
+	rng   randx.Uniform
+	fast  *randx.Rand // non-nil when rng is the concrete devirtualized RNG
 	on    bool
 }
 
 // NewMMOO validates the chain and seeds the state from its stationary
-// distribution using the provided RNG.
-func NewMMOO(m envelope.MMOO, rng *rand.Rand) (*MMOO, error) {
+// distribution using the provided RNG. When rng is a *randx.Rand the
+// source runs devirtualized (no interface dispatch per draw) on a
+// bit-identical stream.
+func NewMMOO(m envelope.MMOO, rng randx.Uniform) (*MMOO, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	if rng == nil {
-		return nil, errors.New("traffic: NewMMOO needs a *rand.Rand")
+		return nil, errors.New("traffic: NewMMOO needs a uniform RNG")
 	}
+	fast, _ := rng.(*randx.Rand)
 	return &MMOO{
 		model: m,
 		rng:   rng,
+		fast:  fast,
 		on:    rng.Float64() < m.OnProbability(),
 	}, nil
 }
 
 // Next implements Source.
 func (s *MMOO) Next() float64 {
+	if s.fast != nil {
+		return s.nextFast(s.fast)
+	}
 	out := 0.0
 	if s.on {
 		out = s.model.Peak
@@ -64,6 +105,50 @@ func (s *MMOO) Next() float64 {
 	return out
 }
 
+// nextFast is Next on the concrete RNG: one branch merge apart (emit and
+// transition share the state test), the float operations and the single
+// Float64 draw per slot are identical, so the sample path is too.
+func (s *MMOO) nextFast(r *randx.Rand) float64 {
+	if s.on {
+		s.on = r.Float64() < s.model.P22
+		return s.model.Peak
+	}
+	s.on = r.Float64() >= s.model.P11
+	return 0
+}
+
+// NextBlock implements BlockSource. On the concrete RNG the fill walks
+// geometric state-runs — emitting Peak (or 0) while drawing the one
+// transition uniform per slot — which keeps the stream identical while
+// letting the branch predictor see the run structure.
+func (s *MMOO) NextBlock(dst []float64) {
+	r := s.fast
+	if r == nil {
+		for i := range dst {
+			dst[i] = s.Next()
+		}
+		return
+	}
+	m := &s.model
+	on := s.on
+	for i := 0; i < len(dst); {
+		if on {
+			for i < len(dst) && on {
+				dst[i] = m.Peak
+				on = r.Float64() < m.P22
+				i++
+			}
+		} else {
+			for i < len(dst) && !on {
+				dst[i] = 0
+				on = r.Float64() >= m.P11
+				i++
+			}
+		}
+	}
+	s.on = on
+}
+
 // CBR is a constant bit rate source.
 type CBR struct {
 	Rate float64
@@ -72,19 +157,72 @@ type CBR struct {
 // Next implements Source.
 func (s CBR) Next() float64 { return s.Rate }
 
+// NextBlock implements BlockSource.
+func (s CBR) NextBlock(dst []float64) {
+	for i := range dst {
+		dst[i] = s.Rate
+	}
+}
+
 // Aggregate sums a set of sources (statistical multiplexing of flows into
 // the through- or cross-traffic aggregates of the paper's Fig. 1).
 type Aggregate struct {
 	sources []Source
+	// mm is the devirtualized member bank, non-nil when every member is
+	// an *MMOO on the concrete fast RNG: the common simulator wiring,
+	// where the per-slot sum can skip both the Source dispatch and the
+	// Uniform dispatch entirely.
+	mm []*MMOO
+	// uniform marks a bank whose members all share one RNG and one model
+	// (NewMMOOAggregate's wiring): the per-slot sum then keeps the RNG
+	// pointer and the three model constants in registers, and steps the
+	// packed `on` flags instead of chasing a pointer per member — four
+	// cache lines of mutable state for the paper's 210 flows. The member
+	// structs are not advanced on this path, so a source handed to
+	// NewAggregate must afterwards be driven only through the aggregate.
+	uniform bool
+	bankR   *randx.Rand
+	bankM   envelope.MMOO
+	on      []bool
 }
 
 // NewAggregate bundles the given sources.
 func NewAggregate(sources ...Source) *Aggregate {
-	return &Aggregate{sources: sources}
+	a := &Aggregate{sources: sources}
+	if len(sources) > 0 {
+		mm := make([]*MMOO, len(sources))
+		for i, s := range sources {
+			m, ok := s.(*MMOO)
+			if !ok || m.fast == nil {
+				mm = nil
+				break
+			}
+			mm[i] = m
+		}
+		a.mm = mm
+		if mm != nil {
+			a.uniform = true
+			a.bankR = mm[0].fast
+			a.bankM = mm[0].model
+			for _, m := range mm {
+				if m.fast != a.bankR || m.model != a.bankM {
+					a.uniform = false
+					break
+				}
+			}
+			if a.uniform {
+				a.on = make([]bool, len(mm))
+				for i, m := range mm {
+					a.on[i] = m.on
+				}
+			}
+		}
+	}
+	return a
 }
 
 // NewMMOOAggregate creates n iid MMOO flows sharing one RNG.
-func NewMMOOAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*Aggregate, error) {
+func NewMMOOAggregate(m envelope.MMOO, n int, rng randx.Uniform) (*Aggregate, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("traffic: aggregate size must be >= 0, got %d", n)
 	}
@@ -101,11 +239,76 @@ func NewMMOOAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*Aggregate, error
 
 // Next implements Source.
 func (a *Aggregate) Next() float64 {
+	if a.mm != nil {
+		return a.nextBank()
+	}
 	total := 0.0
 	for _, s := range a.sources {
 		total += s.Next()
 	}
 	return total
+}
+
+// nextBank sums the all-MMOO member bank with concrete calls only. The
+// members' draws happen in the same order as the generic loop, and
+// skipping the += for OFF members does not change the float sum (adding
+// +0.0 is an identity on every non-negative accumulator). On a uniform
+// bank the shared RNG and model constants are hoisted out of the loop —
+// the same comparisons against the same values, one member flag load
+// per flow.
+func (a *Aggregate) nextBank() float64 {
+	total := 0.0
+	if a.uniform {
+		r := a.bankR
+		peak, p22, p11 := a.bankM.Peak, a.bankM.P22, a.bankM.P11
+		on := a.on
+		for i, o := range on {
+			// Hand-inlined randx.(*Rand).Float64: the redraw loop keeps
+			// Float64 itself over the compiler's inline budget, and at one
+			// draw per flow per slot the call is measurable. float64(Int63())
+			// times the exact reciprocal of 2⁶³, redrawn on rounding to 1.0,
+			// is the Go-1 stream bit for bit; TestFastRNGStreamParity pins
+			// this loop against the interface path every run. Each flow
+			// consumes exactly one draw on either branch, so hoisting the
+			// draw above the state test preserves the stream.
+			f := float64(r.Int63()) * inv63
+			for f == 1 {
+				f = float64(r.Int63()) * inv63
+			}
+			if o {
+				total += peak
+				on[i] = f < p22
+			} else {
+				on[i] = f >= p11
+			}
+		}
+		return total
+	}
+	for _, m := range a.mm {
+		r := m.fast
+		if m.on {
+			total += m.model.Peak
+			m.on = r.Float64() < m.model.P22
+		} else {
+			m.on = r.Float64() >= m.model.P11
+		}
+	}
+	return total
+}
+
+// NextBlock implements BlockSource. The fill stays slot-major across
+// members: the members share one RNG in the usual wiring, so a
+// member-major fill would reorder the shared stream.
+func (a *Aggregate) NextBlock(dst []float64) {
+	if a.mm != nil {
+		for i := range dst {
+			dst[i] = a.nextBank()
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = a.Next()
+	}
 }
 
 // Size returns the number of bundled flows.
@@ -134,7 +337,8 @@ func (a *Aggregate) Size() int { return len(a.sources) }
 // pinned by the tests.
 type CountAggregate struct {
 	model envelope.MMOO
-	rng   *rand.Rand
+	rng   randx.Uniform
+	fast  *randx.Rand // non-nil when rng is the concrete devirtualized RNG
 	n     int
 	k     int // flows currently ON
 	// Fixed-p samplers with the (1−p)^n tables precomputed up to n: the
@@ -147,7 +351,7 @@ type CountAggregate struct {
 // NewMMOOCountAggregate validates the chain and draws the initial ON
 // count from the stationary distribution Bin(n, OnProbability), matching
 // NewMMOOAggregate's warm start.
-func NewMMOOCountAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*CountAggregate, error) {
+func NewMMOOCountAggregate(m envelope.MMOO, n int, rng randx.Uniform) (*CountAggregate, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,11 +359,13 @@ func NewMMOOCountAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*CountAggreg
 		return nil, fmt.Errorf("traffic: aggregate size must be >= 0, got %d", n)
 	}
 	if rng == nil {
-		return nil, errors.New("traffic: NewMMOOCountAggregate needs a *rand.Rand")
+		return nil, errors.New("traffic: NewMMOOCountAggregate needs a uniform RNG")
 	}
+	fast, _ := rng.(*randx.Rand)
 	return &CountAggregate{
 		model: m,
 		rng:   rng,
+		fast:  fast,
 		n:     n,
 		k:     randx.Binomial(rng, n, m.OnProbability()),
 		stay:  randx.NewBinomialSampler(n, m.P22),
@@ -170,10 +376,33 @@ func NewMMOOCountAggregate(m envelope.MMOO, n int, rng *rand.Rand) (*CountAggreg
 // Next implements Source.
 func (a *CountAggregate) Next() float64 {
 	out := float64(a.k) * a.model.Peak
-	stay := a.stay.Sample(a.rng, a.k)
-	join := a.join.Sample(a.rng, a.n-a.k)
+	var stay, join int
+	if a.fast != nil {
+		stay = a.stay.SampleFast(a.fast, a.k)
+		join = a.join.SampleFast(a.fast, a.n-a.k)
+	} else {
+		stay = a.stay.Sample(a.rng, a.k)
+		join = a.join.Sample(a.rng, a.n-a.k)
+	}
 	a.k = stay + join
 	return out
+}
+
+// NextBlock implements BlockSource.
+func (a *CountAggregate) NextBlock(dst []float64) {
+	if a.fast != nil {
+		r := a.fast
+		for i := range dst {
+			dst[i] = float64(a.k) * a.model.Peak
+			stay := a.stay.SampleFast(r, a.k)
+			join := a.join.SampleFast(r, a.n-a.k)
+			a.k = stay + join
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = a.Next()
+	}
 }
 
 // Size returns the number of modeled flows.
@@ -218,6 +447,14 @@ func (g *Greedy) Next() float64 {
 	return out
 }
 
+// NextBlock implements BlockSource (the envelope walk is deterministic, so
+// the per-slot loop is already exact).
+func (g *Greedy) NextBlock(dst []float64) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}
+
 // Delayed wraps a source, holding it silent for the first `start` slots —
 // used to inject a tagged arrival at a chosen time t*.
 type Delayed struct {
@@ -237,6 +474,21 @@ func (d *Delayed) Next() float64 {
 	return d.Src.Next()
 }
 
+// NextBlock implements BlockSource: the silent prefix is bulk-zeroed and
+// the remainder delegated to the wrapped source's block path.
+func (d *Delayed) NextBlock(dst []float64) {
+	i := 0
+	for i < len(dst) && d.slot < d.Start {
+		dst[i] = 0
+		d.slot++
+		i++
+	}
+	if i < len(dst) {
+		d.slot += len(dst) - i
+		FillBlock(d.Src, dst[i:])
+	}
+}
+
 // Pulse emits a single burst of the given size at slot Start and nothing
 // otherwise.
 type Pulse struct {
@@ -254,6 +506,13 @@ func (p *Pulse) Next() float64 {
 		return p.Size
 	}
 	return 0
+}
+
+// NextBlock implements BlockSource.
+func (p *Pulse) NextBlock(dst []float64) {
+	for i := range dst {
+		dst[i] = p.Next()
+	}
 }
 
 // Trace replays a recorded per-slot arrival sequence; past the end it
@@ -276,6 +535,21 @@ func (t *Trace) Next() float64 {
 		return 0
 	}
 	return v
+}
+
+// NextBlock implements BlockSource: a clamped copy of the recorded window
+// plus a zero tail past the end of the trace.
+func (t *Trace) NextBlock(dst []float64) {
+	n := copy(dst, t.Data[min(t.pos, len(t.Data)):])
+	t.pos += n
+	for i := 0; i < n; i++ {
+		if dst[i] < 0 {
+			dst[i] = 0
+		}
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
 }
 
 // PeriodicOnOff is a deterministic on-off source: Rate per slot for On
@@ -303,4 +577,11 @@ func (p *PeriodicOnOff) Next() float64 {
 		return p.Rate
 	}
 	return 0
+}
+
+// NextBlock implements BlockSource.
+func (p *PeriodicOnOff) NextBlock(dst []float64) {
+	for i := range dst {
+		dst[i] = p.Next()
+	}
 }
